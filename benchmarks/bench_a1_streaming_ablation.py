@@ -1,0 +1,137 @@
+"""A1 — ablation: npoll buffering vs immediate capture streaming.
+
+DESIGN.md calls out the §3.1 buffering decision ("buffering received data
+keeps the access link free of control traffic during a measurement"). This
+ablation implements the alternative — the endpoint ships every captured
+record upstream the moment it is captured — and measures what it does to a
+concurrent latency measurement.
+
+Setup: the endpoint captures a 4 Mbps background stream while pinging the
+target over a 3 Mbps uplink. In the paper's buffered mode the controller
+stays silent during the probe window (endpoint timestamps make that
+possible) and the probes see an idle uplink. In streaming mode the capture
+records keep a standing TCP backlog on the uplink, each probe queues
+behind it, and the measured RTTs inflate ~3x. The probes' RTTs come from
+endpoint capture timestamps in both modes, so the distortion is *real
+network interference*, not reporting delay.
+
+Streaming has a second failure mode this bench deliberately sidesteps by
+pipelining the nsend commands: command *responses* queue behind the
+streamed records, so a controller that awaits each Result falls seconds
+behind — the control channel itself becomes unusable during a streaming
+capture (we measured probe departures slipping 0.8-6.7 s late that way).
+"""
+
+from conftest import print_table
+
+from repro.core.testbed import Testbed
+from repro.filtervm import builtins
+from repro.netsim.clock import NANOSECONDS
+from repro.packet.icmp import ICMP_ECHO_REPLY, IcmpMessage
+from repro.packet.ipv4 import IPv4Packet, PROTO_ICMP
+from repro.util.byteio import DecodeError
+
+DOWNLINK_BPS = 10e6
+UPLINK_BPS = 3e6
+BACKGROUND_PAYLOAD = 1200
+BACKGROUND_GAP = 0.0024  # ~4 Mbps arriving on the downlink
+PROBE_COUNT = 10
+PROBE_SPACING = 0.3
+TRUE_RTT = 0.060  # endpoint -> gw -> target and back
+
+
+def _ping_with_capture(stream_captures: bool) -> list[float]:
+    """Measured echo RTTs while a background stream is being captured."""
+    testbed = Testbed(
+        access_bandwidth_bps=DOWNLINK_BPS,
+        uplink_bandwidth_bps=UPLINK_BPS,
+        capture_buffer_bytes=8 * 1024 * 1024,
+    )
+    testbed.endpoint_config.stream_captures = stream_captures
+    target = testbed.target_host
+    endpoint_ip = testbed.endpoint_host.primary_address()
+    background_until = 8.0
+
+    def background():
+        sock = target.udp.bind(0)
+        while target.sim.now < background_until:
+            sock.sendto(b"G" * BACKGROUND_PAYLOAD, endpoint_ip, 7700)
+            yield BACKGROUND_GAP
+
+    testbed.sim.spawn(background(), name="background")
+
+    def experiment(handle):
+        # Socket 0 captures the background flood (the concurrent capture).
+        yield from handle.nopen_udp(0, locport=7700)
+        # Socket 1: raw ICMP for the latency measurement.
+        yield from handle.nopen_raw(1)
+        t0 = yield from handle.read_clock()
+        yield from handle.ncap(
+            1, t0 + 120 * NANOSECONDS, builtins.capture_protocol(PROTO_ICMP)
+        )
+        send_times = {}
+        for seq in range(1, PROBE_COUNT + 1):
+            due = t0 + int((2.0 + seq * PROBE_SPACING) * NANOSECONDS)
+            send_times[seq] = due
+            probe = IPv4Packet(
+                src=endpoint_ip, dst=testbed.target_address, proto=PROTO_ICMP,
+                payload=IcmpMessage.echo_request(5, seq).encode(),
+            ).encode()
+            # Pipelined: in streaming mode, Results queue behind streamed
+            # records, so awaiting each one would delay later schedules.
+            handle.nsend_nowait(1, due, probe)
+        # Quiet period: the controller issues no commands while the probes
+        # fly (the buffered design's whole point), then waits long enough
+        # for a streaming endpoint to flush its backlog.
+        yield 2.0 + PROBE_COUNT * PROBE_SPACING + 12.0
+        # Drain both delivery paths.
+        rtts = {}
+        for _ in range(5):
+            poll = yield from handle.npoll(0)
+            records = list(poll.records) + list(handle.streamed_records)
+            handle.streamed_records.clear()
+            for record in records:
+                if record.sktid != 1:
+                    continue
+                try:
+                    packet = IPv4Packet.decode(record.data,
+                                               verify_checksum=False)
+                    message = IcmpMessage.decode(packet.payload,
+                                                 verify_checksum=False)
+                except DecodeError:
+                    continue
+                if (message.icmp_type == ICMP_ECHO_REPLY
+                        and message.echo_ident == 5
+                        and message.echo_seq in send_times):
+                    rtts[message.echo_seq] = (
+                        record.timestamp - send_times[message.echo_seq]
+                    ) / NANOSECONDS
+            if len(rtts) == PROBE_COUNT:
+                break
+            yield 2.0
+        return [rtts[seq] for seq in sorted(rtts)]
+
+    return testbed.run_experiment(experiment, timeout=900.0)
+
+
+def test_a1_streaming_inflates_latency_measurement(benchmark):
+    buffered = _ping_with_capture(False)
+    streaming = _ping_with_capture(True)
+    assert len(buffered) == PROBE_COUNT
+    assert len(streaming) >= PROBE_COUNT // 2, "streaming lost most probes"
+    buffered_avg = sum(buffered) / len(buffered)
+    streaming_avg = sum(streaming) / len(streaming)
+    print_table(
+        "A1: echo RTT during a concurrent high-rate capture",
+        ["mode", "probes answered", "avg RTT (ms)", "max RTT (ms)"],
+        [["buffered (paper)", len(buffered), buffered_avg * 1000,
+          max(buffered) * 1000],
+         ["streaming (ablation)", len(streaming), streaming_avg * 1000,
+          max(streaming) * 1000]],
+    )
+    # Shape: buffering measures the true RTT; streaming's capture records
+    # keep the uplink busy and the probes queue behind them.
+    assert abs(buffered_avg - TRUE_RTT) < 0.01
+    assert streaming_avg > buffered_avg * 1.5
+    benchmark.pedantic(_ping_with_capture, args=(False,), rounds=1,
+                       iterations=1)

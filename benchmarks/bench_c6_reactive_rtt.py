@@ -1,0 +1,130 @@
+"""C6 — §3.5 limitation: reactive experiments pay the controller RTT.
+
+The challenge/response workload (reply depends on received data) across a
+sweep of endpoint-controller RTTs:
+
+- the native on-endpoint client's reaction time is flat (one path RTT),
+- the PacketLab client's grows linearly with controller RTT — the paper's
+  admitted disadvantage,
+- the pre-scheduled (non-reactive) PacketLab workload matches the native
+  client regardless of controller RTT — the paper's rebuttal.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.baselines.native import (
+    ChallengeServer,
+    PacedServer,
+    native_challenge_client,
+    native_paced_client,
+    packetlab_challenge_client,
+    packetlab_paced_client,
+)
+from repro.core.testbed import Testbed
+
+CONTROLLER_DELAYS = [0.01, 0.03, 0.06, 0.10]  # one-way core delay sweep
+
+
+def _reaction_times(core_delay: float):
+    """Returns (native_reaction, packetlab_reaction) for one RTT point."""
+    native_testbed = Testbed(access_delay=0.005, core_delay=core_delay)
+    native_server = ChallengeServer(native_testbed.target_host, 9500).start()
+
+    def run_native():
+        yield from native_challenge_client(
+            native_testbed.endpoint_host, native_testbed.target_address, 9500
+        )
+
+    native_testbed.sim.run_process(run_native(), timeout=60.0)
+
+    packetlab_testbed = Testbed(access_delay=0.005, core_delay=core_delay)
+    packetlab_server = ChallengeServer(
+        packetlab_testbed.target_host, 9500
+    ).start()
+
+    def experiment(handle):
+        return (yield from packetlab_challenge_client(
+            handle, packetlab_testbed.target_address, 9500
+        ))
+
+    assert packetlab_testbed.run_experiment(experiment, timeout=300.0)
+    return native_server.reaction_times[0], packetlab_server.reaction_times[0]
+
+
+def test_c6_reactive_latency_sweep(benchmark):
+    rows = []
+    penalties = []
+    for core_delay in CONTROLLER_DELAYS:
+        native, packetlab = _reaction_times(core_delay)
+        controller_rtt = 2 * (0.005 + core_delay)  # endpoint<->controller
+        penalty = packetlab - native
+        penalties.append((controller_rtt, penalty))
+        rows.append([controller_rtt * 1000, native * 1000,
+                     packetlab * 1000, penalty * 1000])
+    print_table(
+        "C6: reactive challenge/response — native vs PacketLab",
+        ["controller RTT (ms)", "native (ms)", "packetlab (ms)",
+         "penalty (ms)"],
+        rows,
+    )
+    # Shape 1: the penalty is roughly the controller RTT at every point.
+    for controller_rtt, penalty in penalties:
+        assert penalty == pytest.approx(controller_rtt, rel=0.5)
+    # Shape 2: the penalty grows monotonically with controller RTT.
+    penalty_values = [p for _, p in penalties]
+    assert penalty_values == sorted(penalty_values)
+    benchmark.pedantic(_reaction_times, args=(0.03,), rounds=1, iterations=1)
+
+
+def test_c6_prescheduled_is_rtt_immune(benchmark):
+    """The rebuttal: without a data dependency, scheduling makes the
+    endpoint's timing independent of controller distance."""
+    gap = 0.4
+    rows = []
+    for core_delay in [0.01, 0.10]:
+        packetlab_testbed = Testbed(access_delay=0.005, core_delay=core_delay)
+        paced = PacedServer(packetlab_testbed.target_host, 9600).start()
+
+        def experiment(handle):
+            yield from packetlab_paced_client(
+                handle, packetlab_testbed.target_address, 9600, gap
+            )
+
+        packetlab_testbed.run_experiment(experiment, timeout=300.0)
+        native_testbed = Testbed(access_delay=0.005, core_delay=core_delay)
+        native_paced = PacedServer(native_testbed.target_host, 9600).start()
+
+        def run_native():
+            yield from native_paced_client(
+                native_testbed.endpoint_host, native_testbed.target_address,
+                9600, gap,
+            )
+
+        native_testbed.sim.run_process(run_native(), timeout=60.0)
+        packetlab_error = abs(paced.intervals[0] - gap)
+        native_error = abs(native_paced.intervals[0] - gap)
+        rows.append([2 * (0.005 + core_delay) * 1000,
+                     native_error * 1e6, packetlab_error * 1e6])
+        # Shape: sub-millisecond accuracy at both controller distances.
+        assert packetlab_error < 1e-3
+    print_table(
+        "C6: pre-scheduled pacing error vs controller RTT",
+        ["controller RTT (ms)", "native error (us)", "packetlab error (us)"],
+        rows,
+    )
+
+    def one_point():
+        testbed = Testbed(access_delay=0.005, core_delay=0.05)
+        paced = PacedServer(testbed.target_host, 9600).start()
+
+        def experiment(handle):
+            yield from packetlab_paced_client(
+                handle, testbed.target_address, 9600, gap
+            )
+
+        testbed.run_experiment(experiment, timeout=300.0)
+        return paced.intervals[0]
+
+    interval = benchmark.pedantic(one_point, rounds=1, iterations=1)
+    assert interval == pytest.approx(gap, abs=1e-3)

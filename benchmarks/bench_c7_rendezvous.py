@@ -1,0 +1,103 @@
+"""C7 — §3.2 rendezvous scale: publish/subscribe fan-out.
+
+One publication reaching N subscribed endpoints: dissemination latency
+from publish to last delivery, and correctness of channel-based filtering
+when only a subset of endpoints trusts the delegating operator.
+"""
+
+from conftest import print_table
+
+from repro.controller.client import ControllerServer
+from repro.controller.session import Experimenter
+from repro.crypto.keys import KeyPair
+from repro.endpoint.config import EndpointConfig
+from repro.endpoint.endpoint import Endpoint
+from repro.netsim.topology import Network
+from repro.rendezvous.server import RendezvousServer
+
+
+def _fanout_world(subscriber_count: int, trusting_fraction: float = 1.0):
+    """Star topology: N endpoint hosts, one rendezvous, one controller."""
+    net = Network()
+    gw = net.add_router("gw")
+    rdz_host = net.add_host("rdz")
+    controller = net.add_host("controller")
+    net.link(gw, rdz_host, bandwidth_bps=1e9, delay=0.01)
+    net.link(gw, controller, bandwidth_bps=1e9, delay=0.01)
+    operator = KeyPair.from_name("fanout-operator")
+    other_operator = KeyPair.from_name("fanout-other-operator")
+    rdz_operator = KeyPair.from_name("fanout-rdz-operator")
+    endpoints = []
+    trusting = int(subscriber_count * trusting_fraction)
+    for index in range(subscriber_count):
+        host = net.add_host(f"ep{index}")
+        net.link(gw, host, bandwidth_bps=50e6, delay=0.005 + index * 0.001)
+        trusted = operator if index < trusting else other_operator
+        endpoints.append(Endpoint(host, EndpointConfig(
+            name=f"ep{index}", trusted_key_ids=[trusted.key_id])))
+    net.compute_routes()
+    rdz = RendezvousServer(
+        rdz_host, 7100, trusted_publisher_key_ids=[rdz_operator.key_id]
+    ).start()
+    experimenter = Experimenter("fanout-experimenter")
+    experimenter.granted_publish_access(rdz_operator)
+    experimenter.granted_endpoint_access(operator)
+    return net, rdz, rdz_host, controller, endpoints, experimenter, trusting
+
+
+def _run_fanout(subscriber_count: int, trusting_fraction: float = 1.0):
+    (net, rdz, rdz_host, controller, endpoints, experimenter,
+     trusting) = _fanout_world(subscriber_count, trusting_fraction)
+    for endpoint in endpoints:
+        endpoint.start_rendezvous(rdz_host.primary_address(), 7100)
+    descriptor = experimenter.make_descriptor(controller, 7000, "fanout")
+    server = ControllerServer(
+        controller, 7000, experimenter.identity(descriptor)
+    ).start()
+    joined_at = []
+
+    def publisher():
+        yield 1.0  # let subscriptions settle
+        publish_time = net.sim.now
+        ok, reason = yield from experimenter.publish(
+            controller, rdz_host.primary_address(), 7100, descriptor
+        )
+        assert ok, reason
+        for _ in range(trusting):
+            handle = yield server.wait_endpoint()
+            joined_at.append(net.sim.now - publish_time)
+            handle.bye()
+        return None
+
+    net.sim.run_process(publisher(), name="publisher", timeout=300.0)
+    return joined_at, rdz.experiments_delivered
+
+
+def test_c7_fanout_latency(benchmark):
+    rows = []
+    for count in [1, 5, 15]:
+        joined_at, delivered = _run_fanout(count)
+        assert len(joined_at) == count
+        assert delivered == count
+        rows.append([count, min(joined_at) * 1000, max(joined_at) * 1000])
+    print_table(
+        "C7: publish -> session fan-out latency",
+        ["endpoints", "first join (ms)", "last join (ms)"],
+        rows,
+    )
+    # Shape: fan-out completes within a handshake-scale window; latency
+    # does not blow up with subscriber count.
+    assert rows[-1][2] < 2000
+    benchmark.pedantic(_run_fanout, args=(5,), rounds=1, iterations=1)
+
+
+def test_c7_channel_filtering(benchmark):
+    """Only endpoints trusting the delegating operator are contacted."""
+    joined_at, delivered = benchmark.pedantic(
+        _run_fanout, args=(10,), kwargs={"trusting_fraction": 0.5},
+        rounds=1, iterations=1,
+    )
+    # 5 of 10 endpoints trust the operator: exactly those get the
+    # experiment and join.
+    assert len(joined_at) == 5
+    assert delivered == 5

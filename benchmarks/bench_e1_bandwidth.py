@@ -1,0 +1,74 @@
+"""E1 — §4 uplink bandwidth experiment.
+
+The paper's first prototype experiment: schedule a UDP burst at t0+5 and
+measure the arrival rate at the controller. Reproduced as a sweep over
+configured uplink rates; the measured value must track the configured one
+(scheduled mode), while immediate mode under-measures once the uplink
+outruns the control channel (the §3.1 contention claim, also C1).
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core.testbed import Testbed
+from repro.experiments.bandwidth import measure_uplink_bandwidth
+
+UPLINKS_MBPS = [0.5, 2.0, 10.0, 50.0, 100.0]
+
+
+def _measure(uplink_mbps: float, immediate: bool) -> float:
+    testbed = Testbed(
+        access_bandwidth_bps=20e6,
+        uplink_bandwidth_bps=uplink_mbps * 1e6,
+        access_delay=0.010,
+        core_delay=0.020,
+    )
+
+    def experiment(handle):
+        return (yield from measure_uplink_bandwidth(
+            handle, testbed.controller_host,
+            packet_count=40, payload_size=1000, immediate=immediate,
+        ))
+
+    result = testbed.run_experiment(experiment, timeout=600.0)
+    return result.measured_bps
+
+
+def test_e1_bandwidth_sweep(benchmark):
+    rows = []
+    for uplink in UPLINKS_MBPS:
+        scheduled = _measure(uplink, immediate=False)
+        error = abs(scheduled - uplink * 1e6) / (uplink * 1e6)
+        rows.append([uplink, scheduled / 1e6, error * 100])
+        benchmark.extra_info[f"{uplink}Mbps"] = f"{scheduled / 1e6:.2f} Mbps"
+        # Shape: the scheduled measurement tracks the configured uplink.
+        assert error < 0.10, f"uplink {uplink} Mbps measured {scheduled / 1e6}"
+    print_table(
+        "E1: measured vs configured uplink (scheduled burst at t0+5)",
+        ["configured (Mbps)", "measured (Mbps)", "error %"],
+        rows,
+    )
+    benchmark.pedantic(_measure, args=(10.0, False), rounds=1, iterations=1)
+
+
+def test_e1_scheduled_beats_immediate(benchmark):
+    """The §3.1 contention claim as a head-to-head comparison."""
+    rows = []
+    crossover_seen = False
+    for uplink in [1.0, 5.0, 20.0]:
+        scheduled = _measure(uplink, immediate=False)
+        immediate = _measure(uplink, immediate=True)
+        rows.append([uplink, scheduled / 1e6, immediate / 1e6,
+                     scheduled / max(immediate, 1)])
+        if immediate < scheduled * 0.8:
+            crossover_seen = True
+    print_table(
+        "E1/C1: scheduled vs immediate sends (shared access link)",
+        ["uplink (Mbps)", "scheduled (Mbps)", "immediate (Mbps)", "ratio"],
+        rows,
+    )
+    # Shape: immediate under-measures, increasingly so at higher uplinks;
+    # scheduled always wins at the top rate.
+    assert crossover_seen
+    assert rows[-1][1] > rows[-1][2]
+    benchmark.pedantic(_measure, args=(5.0, True), rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""E2 — §4 traceroute experiment.
+
+The paper's second prototype experiment: TTL-limited ICMP echo probes with
+sequence-number payloads and endpoint-clock RTTs. Reproduced against
+simulator ground truth for a sweep of path lengths: the discovered router
+sequence must equal the actual path and the per-hop RTTs must reflect
+cumulative link delay.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core.testbed import Testbed
+from repro.experiments.traceroute import traceroute
+from repro.netsim.topology import Network
+
+LINK_DELAY = 0.005
+
+
+def _build(hop_count: int) -> Testbed:
+    net = Network()
+    endpoint = net.add_host("endpoint")
+    gw = net.add_router("gw")
+    controller = net.add_host("controller")
+    net.link(gw, endpoint, bandwidth_bps=10e6, delay=0.01)
+    net.link(gw, controller, bandwidth_bps=1e9, delay=0.02)
+    previous = gw
+    for index in range(hop_count):
+        router = net.add_router(f"r{index + 1}")
+        net.link(previous, router, bandwidth_bps=1e9, delay=LINK_DELAY)
+        previous = router
+    target = net.add_host("target")
+    net.link(previous, target, bandwidth_bps=1e9, delay=LINK_DELAY)
+    net.compute_routes()
+    return Testbed(network=net, endpoint_host=endpoint,
+                   controller_host=controller, target_host=target)
+
+
+def _run(hop_count: int):
+    testbed = _build(hop_count)
+
+    def experiment(handle):
+        return (yield from traceroute(handle, testbed.target_address))
+
+    result = testbed.run_experiment(experiment, timeout=600.0)
+    truth = testbed.net.path_to(testbed.endpoint_host, testbed.target_host)
+    discovered = []
+    for hop in result.hops:
+        owner = next(
+            (node.name for node in testbed.net.nodes.values()
+             if hop.responder is not None
+             and node.is_local_address(hop.responder)),
+            "*",
+        )
+        discovered.append(owner)
+    return result, truth, discovered
+
+
+def test_e2_traceroute_path_discovery(benchmark):
+    rows = []
+    for hop_count in [1, 3, 6]:
+        result, truth, discovered = _run(hop_count)
+        expected = truth[1:]  # drop the endpoint itself
+        assert result.reached
+        assert discovered == expected, (discovered, expected)
+        rows.append([hop_count, len(result.hops), "yes"])
+    print_table(
+        "E2: traceroute path discovery vs ground truth",
+        ["routers", "hops found", "path matches"],
+        rows,
+    )
+    benchmark.pedantic(_run, args=(3,), rounds=1, iterations=1)
+
+
+def test_e2_traceroute_rtt_profile(benchmark):
+    """Per-hop RTTs rise with hop distance by ~2x the added link delay."""
+    result, truth, discovered = _run(5)
+    rows = []
+    previous_rtt = None
+    for hop in result.hops:
+        rows.append([hop.ttl, discovered[hop.ttl - 1], hop.rtt * 1000])
+        if previous_rtt is not None:
+            delta = hop.rtt - previous_rtt
+            # Each extra hop adds ~2 * LINK_DELAY of RTT (+ serialization).
+            assert delta == pytest.approx(2 * LINK_DELAY, abs=0.004)
+        previous_rtt = hop.rtt
+    print_table(
+        "E2: per-hop RTT profile (endpoint clock)",
+        ["ttl", "responder", "rtt (ms)"],
+        rows,
+    )
+    benchmark.pedantic(_run, args=(5,), rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+"""F1 — Figure 1: the authorization relationships.
+
+Walks the full eight-step flow end to end (operator keys -> experimenter
+grant -> delegation -> experiment certificate -> publish -> rendezvous
+verification -> endpoint verification -> session), and measures
+certificate-chain verification cost as a function of delegation depth.
+"""
+
+from conftest import print_table
+
+from repro.core.testbed import Testbed
+from repro.crypto.certificate import CERT_EXPERIMENT, Certificate
+from repro.crypto.chain import CertificateChain
+from repro.crypto.keys import KeyPair, object_hash
+
+
+def _full_figure1_flow():
+    """The complete ➊..➑ walk; returns (publications, sessions)."""
+    testbed = Testbed()
+    rdz = testbed.start_rendezvous()
+    testbed.endpoint.start_rendezvous(
+        testbed.controller_host.primary_address(), rdz.port
+    )
+    server, descriptor = testbed.make_controller("fig1-bench")
+
+    def run():
+        ok, reason = yield from testbed.experimenter.publish(
+            testbed.controller_host,
+            testbed.controller_host.primary_address(),
+            rdz.port,
+            descriptor,
+        )
+        assert ok, reason
+        handle = yield server.wait_endpoint()
+        ticks = yield from handle.read_clock()
+        assert ticks > 0
+        handle.bye()
+        return None
+
+    testbed.sim.run_process(run(), timeout=120.0)
+    return rdz.publications_accepted, len(testbed.endpoint._seen_descriptors)
+
+
+def _build_chain(depth: int):
+    """A delegation chain of the given depth, plus its verification args."""
+    operator = KeyPair.from_name("bench-operator")
+    descriptor_hash = object_hash(b"bench descriptor")
+    chain = CertificateChain()
+    signer = operator
+    for level in range(depth - 1):
+        delegate = KeyPair.from_name(f"bench-delegate-{level}")
+        chain.append(Certificate.delegate(signer, delegate.public_key),
+                     signer.public_key)
+        signer = delegate
+    chain.append(
+        Certificate.issue(signer, CERT_EXPERIMENT, descriptor_hash),
+        signer.public_key,
+    )
+    return chain, operator.key_id, descriptor_hash
+
+
+def test_figure1_full_flow(benchmark):
+    publications, seen = benchmark.pedantic(
+        _full_figure1_flow, rounds=1, iterations=1
+    )
+    assert publications == 1
+    assert seen == 1
+
+
+def test_chain_verification_vs_depth(benchmark):
+    depths = [1, 2, 3, 4, 6]
+    prepared = {depth: _build_chain(depth) for depth in depths}
+
+    def verify_all():
+        results = {}
+        for depth, (chain, anchor, digest) in prepared.items():
+            result = chain.verify({anchor}, digest, now=0.0)
+            results[depth] = result.depth
+        return results
+
+    results = benchmark(verify_all)
+    assert results == {depth: depth for depth in depths}
+
+    import time
+
+    rows = []
+    for depth, (chain, anchor, digest) in prepared.items():
+        start = time.perf_counter()
+        for _ in range(5):
+            chain.verify({anchor}, digest, now=0.0)
+        elapsed = (time.perf_counter() - start) / 5
+        rows.append([depth, elapsed * 1000, len(chain.encode())])
+        benchmark.extra_info[f"depth-{depth}"] = f"{elapsed * 1000:.2f} ms"
+    print_table(
+        "Figure 1: chain verification vs delegation depth",
+        ["depth", "verify (ms)", "chain bytes"],
+        rows,
+    )
+    # Cost grows roughly linearly with depth (one signature per link).
+    assert rows[-1][1] < rows[0][1] * (depths[-1] + 2)

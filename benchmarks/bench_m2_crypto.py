@@ -1,0 +1,84 @@
+"""M2 — crypto micro-benchmarks (the substrate under F1).
+
+Pure-Python Ed25519 sign/verify and certificate operations: the costs an
+endpoint pays per session and a rendezvous server pays per publication.
+"""
+
+from conftest import print_table
+
+from repro.crypto.certificate import CERT_EXPERIMENT, Certificate, Restrictions
+from repro.crypto.chain import build_delegated_chain
+from repro.crypto.keys import KeyPair, object_hash
+
+
+def test_m2_sign(benchmark):
+    pair = KeyPair.from_name("bench-signer")
+    signature = benchmark(lambda: pair.sign(b"measurement descriptor"))
+    assert len(signature) == 64
+
+
+def test_m2_verify(benchmark):
+    from repro.crypto.keys import verify_signature
+
+    pair = KeyPair.from_name("bench-signer")
+    message = b"measurement descriptor"
+    signature = pair.sign(message)
+    assert benchmark(
+        lambda: verify_signature(pair.public_key, message, signature)
+    )
+
+
+def test_m2_certificate_issue(benchmark):
+    signer = KeyPair.from_name("bench-operator")
+    digest = object_hash(b"descriptor")
+    restrictions = Restrictions(max_priority=3, buffer_limit=65536)
+
+    cert = benchmark(
+        lambda: Certificate.issue(signer, CERT_EXPERIMENT, digest, restrictions)
+    )
+    assert cert.verify_with(signer.public_key)
+
+
+def test_m2_chain_verify_session_cost(benchmark):
+    """What an endpoint pays to admit one session (2-link chain)."""
+    operator = KeyPair.from_name("bench-operator")
+    experimenter = KeyPair.from_name("bench-experimenter")
+    digest = object_hash(b"descriptor")
+    chain = build_delegated_chain(operator, experimenter, digest)
+
+    result = benchmark(lambda: chain.verify({operator.key_id}, digest, 0.0))
+    assert result.depth == 2
+
+
+def test_m2_summary_table(benchmark):
+    import time
+
+    operator = KeyPair.from_name("bench-operator")
+    experimenter = KeyPair.from_name("bench-experimenter")
+    digest = object_hash(b"descriptor")
+    chain = build_delegated_chain(operator, experimenter, digest)
+    encoded_chain = chain.encode()
+
+    def timed(fn, iterations=20):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        return (time.perf_counter() - start) / iterations * 1000
+
+    from repro.crypto.chain import CertificateChain
+
+    rows = [
+        ["ed25519 sign", timed(lambda: operator.sign(b"m"))],
+        ["ed25519 verify", timed(
+            lambda: chain.certificates[0].verify_with(operator.public_key))],
+        ["chain decode", timed(lambda: CertificateChain.decode(encoded_chain))],
+        ["chain verify (depth 2)", timed(
+            lambda: chain.verify({operator.key_id}, digest, 0.0))],
+    ]
+    print_table("M2: certificate operation costs", ["operation", "ms"], rows)
+    for name, ms in rows:
+        benchmark.extra_info[name] = f"{ms:.2f} ms"
+        # All certificate machinery is per-session, not per-packet; tens
+        # of milliseconds is ample.
+        assert ms < 100
+    benchmark(lambda: chain.verify({operator.key_id}, digest, 0.0))

@@ -1,0 +1,85 @@
+"""T1 — Table 1: the endpoint operation set.
+
+Exercises all seven operations (nopen, nclose, nsend, ncap, npoll, mread,
+mwrite) over the wire protocol in a live session, measuring controller-
+observed command latency in *simulated* time (what an experimenter would
+see: one control RTT plus endpoint processing) and Python execution
+throughput in real time.
+"""
+
+from conftest import print_table
+
+from repro.core.testbed import Testbed
+from repro.endpoint.memory import OFF_CLOCK, SCRATCH_START
+from repro.filtervm import builtins
+from repro.proto.constants import ST_OK
+
+
+def _measure_op_latencies():
+    """Run each Table 1 op several times; return {op: sim-seconds}."""
+    testbed = Testbed()
+    latencies = {}
+
+    def experiment(handle):
+        sim = testbed.sim
+
+        def timed(name, gen):
+            start = sim.now
+            result = yield from gen
+            latencies.setdefault(name, []).append(sim.now - start)
+            return result
+
+        for round_index in range(5):
+            status = yield from timed("nopen(udp)", handle.nopen_udp(
+                0, locport=0, remaddr=testbed.target_address, remport=9
+            ))
+            assert status == ST_OK
+            yield from timed("nsend", handle.nsend(0, 0, b"x" * 64))
+            yield from timed("npoll(immediate)", handle.npoll(0))
+            yield from timed("mread", handle.mread(OFF_CLOCK, 8))
+            yield from timed("mwrite", handle.mwrite(SCRATCH_START, b"y" * 64))
+            yield from timed("nclose", handle.nclose(0))
+            status = yield from timed("nopen(raw)", handle.nopen_raw(1))
+            assert status == ST_OK
+            yield from timed("ncap", handle.ncap(
+                1, 1 << 62, builtins.capture_all()
+            ))
+            yield from timed("nclose", handle.nclose(1))
+        return None
+
+    testbed.run_experiment(experiment, "table1")
+    return {name: sum(vals) / len(vals) for name, vals in latencies.items()}
+
+
+def test_table1_operation_latency(benchmark):
+    latencies = benchmark.pedantic(_measure_op_latencies, rounds=1, iterations=1)
+    rows = [[name, avg * 1000] for name, avg in sorted(latencies.items())]
+    print_table("Table 1 op latency (simulated, controller-observed)",
+                ["operation", "latency (ms)"], rows)
+    for name, avg in latencies.items():
+        benchmark.extra_info[name] = f"{avg * 1000:.2f} ms"
+        # Every op completes in roughly one control-channel RTT (~60 ms
+        # in the default testbed) plus endpoint processing.
+        assert avg < 0.5, name
+
+
+def test_table1_command_throughput(benchmark):
+    """Pipelined nsend commands per real second of Python execution."""
+
+    def run():
+        testbed = Testbed()
+
+        def experiment(handle):
+            yield from handle.nopen_udp(
+                0, locport=0, remaddr=testbed.target_address, remport=9
+            )
+            for _ in range(200):
+                handle.nsend_nowait(0, 0, b"z" * 32)
+            yield from handle.npoll(0)  # flush
+            return None
+
+        testbed.run_experiment(experiment, "throughput")
+        return 200
+
+    count = benchmark(run)
+    assert count == 200

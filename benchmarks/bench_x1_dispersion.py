@@ -1,0 +1,54 @@
+"""X1 — extension: downlink bandwidth by packet-pair dispersion.
+
+Not in the paper's §4, but built entirely from the paper's primitives
+(receive timestamping + npoll): the complement of E1 for the downlink
+direction. Shape requirement: the dispersion estimate tracks the
+configured access downlink across the sweep and is immune to endpoint
+clock offset/skew (dispersion is a clock difference).
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core.testbed import Testbed
+from repro.experiments.dispersion import measure_downlink_dispersion
+
+
+def _measure(downlink_mbps: float, clock_offset: float = 0.0) -> float:
+    testbed = Testbed(
+        access_bandwidth_bps=downlink_mbps * 1e6,
+        uplink_bandwidth_bps=10e6,
+        endpoint_clock_offset=clock_offset,
+    )
+
+    def experiment(handle):
+        return (yield from measure_downlink_dispersion(
+            handle, testbed.controller_host
+        ))
+
+    result = testbed.run_experiment(experiment, timeout=600.0)
+    return result.estimated_bps
+
+
+def test_x1_dispersion_sweep(benchmark):
+    rows = []
+    for downlink in [1.0, 5.0, 20.0, 60.0]:
+        estimate = _measure(downlink)
+        error = abs(estimate - downlink * 1e6) / (downlink * 1e6)
+        rows.append([downlink, estimate / 1e6, error * 100])
+        assert error < 0.05, (downlink, estimate)
+    print_table(
+        "X1: packet-pair downlink estimate vs configured",
+        ["configured (Mbps)", "estimated (Mbps)", "error %"],
+        rows,
+    )
+    benchmark.pedantic(_measure, args=(10.0,), rounds=1, iterations=1)
+
+
+def test_x1_dispersion_clock_immune(benchmark):
+    """An arbitrary clock offset does not move the estimate."""
+    plain = _measure(10.0)
+    offset = _measure(10.0, clock_offset=777.0)
+    assert offset == pytest.approx(plain, rel=0.01)
+    benchmark.pedantic(_measure, args=(10.0,), kwargs={"clock_offset": 777.0},
+                       rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one row of the experiment index in
+DESIGN.md (a table/figure/claim from the paper). Benchmarks both:
+
+- time the Python execution with pytest-benchmark (micro performance), and
+- verify + record the *measurement shape* the paper predicts (who wins,
+  by what factor), attaching the numbers to ``benchmark.extra_info`` and
+  printing a table so ``pytest benchmarks/ --benchmark-only -s`` shows the
+  reproduced results.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned results table (visible with -s)."""
+    widths = [len(h) for h in headers]
+    formatted = []
+    for row in rows:
+        cells = [f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+                 for cell in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        formatted.append(cells)
+    print(f"\n== {title} ==")
+    print("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for cells in formatted:
+        print("  ".join(c.rjust(w) for c, w in zip(cells, widths)))

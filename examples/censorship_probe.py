@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Censorship measurement from a remote vantage point (OONI/ICLab style).
+
+"Whether it is observing Internet censorship, testing for network
+neutrality violations, or building a map of the Internet, researchers need
+access to end hosts from which they can conduct their measurements" (§1).
+
+This example simulates a region whose upstream router resets TCP
+connections to a blocked address and whose local resolver lies about a
+blocked name. The experiment — pure controller logic — probes both from
+the endpoint's vantage point and reports interference verdicts, exactly
+the measurement OONI runs from volunteer vantage points.
+
+Run:  python examples/censorship_probe.py
+"""
+
+from typing import Optional
+
+from repro.core import Testbed
+from repro.experiments import dns_query, http_get, start_dns_server, start_http_server
+from repro.netsim.node import Interface, Node
+from repro.netsim.topology import Network
+from repro.packet.ipv4 import IPv4Packet, PROTO_TCP
+from repro.packet.tcp import FLAG_ACK, FLAG_RST, TcpSegment
+from repro.util.inet import format_ip, parse_ip
+
+
+class CensoringRouter(Node):
+    """A router that injects RSTs for TCP traffic to blocked addresses —
+    the Great-Firewall-style interference pattern."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name, forwarding=True)
+        self.blocked: set[int] = set()
+        self.resets_injected = 0
+
+    def receive(self, packet: IPv4Packet, iface: Optional[Interface]) -> None:
+        if packet.proto == PROTO_TCP and packet.dst in self.blocked:
+            try:
+                segment = TcpSegment.decode(packet.payload, packet.src,
+                                            packet.dst, verify_checksum=False)
+            except Exception:
+                segment = None
+            if segment is not None and not segment.has(FLAG_RST):
+                reset = TcpSegment(
+                    src_port=segment.dst_port, dst_port=segment.src_port,
+                    seq=segment.ack, ack=(segment.seq + segment.seg_len) & 0xFFFFFFFF,
+                    flags=FLAG_RST | FLAG_ACK, window=0,
+                )
+                self.resets_injected += 1
+                self.send_ip(IPv4Packet(
+                    src=packet.dst, dst=packet.src, proto=PROTO_TCP,
+                    payload=reset.encode(packet.dst, packet.src),
+                ))
+                return  # the original packet is swallowed
+        super().receive(packet, iface)
+
+
+def build_world():
+    """endpoint -- censor -- gw -- {controller, free site, blocked site,
+    honest DNS, lying DNS}."""
+    net = Network()
+    endpoint = net.add_host("endpoint")
+    censor = net.add_node(CensoringRouter(net.sim, "censor"))
+    gw = net.add_router("gw")
+    controller = net.add_host("controller")
+    free_site = net.add_host("free-site")
+    blocked_site = net.add_host("blocked-site")
+    resolver = net.add_host("resolver")  # the in-region (lying) resolver
+    net.link(censor, endpoint, bandwidth_bps=10e6, delay=0.01)
+    net.link(gw, censor, bandwidth_bps=1e9, delay=0.005)
+    for host in (controller, free_site, blocked_site, resolver):
+        net.link(gw, host, bandwidth_bps=1e9, delay=0.02)
+    net.compute_routes()
+    return net, endpoint, censor, gw, controller, free_site, blocked_site, resolver
+
+
+def main() -> None:
+    (net, endpoint, censor, gw, controller,
+     free_site, blocked_site, resolver) = build_world()
+    censor.blocked.add(blocked_site.primary_address())
+
+    start_http_server(free_site, 80, {"/": b"<html>independent news</html>"})
+    start_http_server(blocked_site, 80, {"/": b"<html>forbidden content</html>"})
+    # The in-region resolver lies about the blocked name, pointing it at a
+    # block page; an out-of-region comparison would return the truth.
+    start_dns_server(resolver, 53, {
+        "news.example": free_site.primary_address(),
+        "forbidden.example": parse_ip("10.99.99.99"),  # DNS tampering
+    })
+
+    testbed = Testbed(network=net, endpoint_host=endpoint,
+                      controller_host=controller, target_host=free_site)
+
+    def experiment(handle):
+        verdicts = []
+
+        print("DNS measurements from the endpoint's vantage point:")
+        for name, expected in (
+            ("news.example", free_site.primary_address()),
+            ("forbidden.example", blocked_site.primary_address()),
+        ):
+            answer = yield from dns_query(
+                handle, resolver.primary_address(), name, sktid=0
+            )
+            got = format_ip(answer.address) if answer.address else "none"
+            tampered = answer.address != expected
+            verdicts.append((f"dns:{name}", "TAMPERED" if tampered else "ok"))
+            print(f"  {name:20s} -> {got:15s} "
+                  f"{'(expected ' + format_ip(expected) + ')' if tampered else ''}")
+
+        print("\nHTTP measurements:")
+        for label, addr in (
+            ("free-site", free_site.primary_address()),
+            ("blocked-site", blocked_site.primary_address()),
+        ):
+            result = yield from http_get(handle, addr, sktid=1)
+            if result.connected and result.status_line:
+                outcome = f"{result.status_line} ({len(result.body)} bytes)"
+                verdict = "ok"
+            else:
+                outcome = "connection failed (reset or unreachable)"
+                verdict = "BLOCKED"
+            verdicts.append((f"http:{label}", verdict))
+            print(f"  {label:15s} {outcome}")
+        return verdicts
+
+    verdicts = testbed.run_experiment(experiment, "censorship-probe")
+    print("\nverdicts:")
+    for what, verdict in verdicts:
+        print(f"  {what:25s} {verdict}")
+    print(f"\ncensor injected {censor.resets_injected} TCP resets")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Writing experiments the old way: the §3.5 compatibility library.
+
+"Developers will need to adjust to the PacketLab model... We plan to
+develop libraries and VPN-style drivers to allow developers to code
+experiments to the old model but run them on PacketLab nodes."
+
+This example is a small service-availability survey written exactly like
+on-endpoint socket code — connect, send, recv, close — using
+:mod:`repro.compat`. Every byte still flows through PacketLab's seven
+commands; the library hides the nsend/npoll choreography.
+
+Run:  python examples/old_model_compat.py
+"""
+
+from repro.compat import CompatError, CompatStack
+from repro.core import Testbed
+from repro.experiments import start_dns_server, start_http_server, start_udp_echo
+from repro.packet.dns import DnsMessage
+from repro.util.inet import format_ip, parse_ip
+
+
+def main() -> None:
+    testbed = Testbed()
+    target = testbed.target_host
+    # Services on the target: HTTP, DNS, an echo service, and nothing
+    # on port 8443.
+    start_http_server(target, 80, {"/": b"<html>up</html>"})
+    start_dns_server(target, 53, {"svc.example": parse_ip("192.0.2.1")})
+    start_udp_echo(target, 7)
+
+    def experiment(handle):
+        stack = CompatStack(handle)
+        report = []
+
+        # 1. TCP service checks, written like ordinary client code.
+        for port in (80, 8443):
+            try:
+                conn = yield from stack.tcp_connect(testbed.target_address, port)
+            except CompatError:
+                report.append((f"tcp/{port}", "closed"))
+                continue
+            if port == 80:
+                yield from conn.send(b"GET / HTTP/1.0\r\n\r\n")
+                first = yield from conn.recv(timeout=2.0)
+                status = first.split(b"\r\n")[0].decode() if first else "no reply"
+                report.append((f"tcp/{port}", f"open - {status}"))
+            else:
+                report.append((f"tcp/{port}", "open"))
+            yield from conn.close()
+
+        # 2. UDP echo check.
+        echo = yield from stack.udp_socket(testbed.target_address, 7)
+        yield from echo.sendto(b"are you there?")
+        reply = yield from echo.recvfrom(timeout=2.0)
+        report.append(("udp/7", "echoing" if reply else "silent"))
+        yield from echo.close()
+
+        # 3. DNS lookup, still plain sendto/recvfrom.
+        dns = yield from stack.udp_socket(testbed.target_address, 53)
+        yield from dns.sendto(DnsMessage.query(1, "svc.example").encode())
+        raw = yield from dns.recvfrom(timeout=2.0)
+        if raw:
+            answer = DnsMessage.decode(raw)
+            address = answer.answers[0].a_address if answer.answers else None
+            report.append(("dns", format_ip(address) if address else "NXDOMAIN"))
+        else:
+            report.append(("dns", "timeout"))
+        yield from dns.close()
+        return report
+
+    report = testbed.run_experiment(experiment, "old-model-survey")
+    print("service survey from the endpoint's vantage point")
+    print("(written as plain socket code over repro.compat)\n")
+    for service, state in report:
+        print(f"  {service:10s} {state}")
+
+
+if __name__ == "__main__":
+    main()

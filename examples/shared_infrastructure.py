@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Sharing measurement infrastructure across research groups (Figure 1).
+
+Two research groups operate endpoints in different networks. Each
+operator delegates access to a visiting experimenter with different
+restrictions (priority caps, capture buffer limits, monitors). The
+experimenter publishes one experiment to a community rendezvous server;
+every endpoint whose operator delegated access discovers it and
+participates — no per-experiment operator involvement, which is the
+paper's core value proposition.
+
+Also demonstrates contention (§3.3): the operator's own high-priority
+experiment preempts the visitor mid-run, then control returns.
+
+Run:  python examples/shared_infrastructure.py
+"""
+
+from repro.controller.session import Experimenter
+from repro.core import Testbed
+from repro.crypto.certificate import Restrictions
+from repro.crypto.keys import KeyPair
+from repro.endpoint.config import EndpointConfig
+from repro.endpoint.endpoint import Endpoint
+from repro.experiments import ping
+from repro.netsim.topology import Network
+from repro.rendezvous.server import RendezvousServer
+from repro.util.inet import format_ip
+
+
+def build_world():
+    """Two access networks (operators A and B), one controller host, one
+    rendezvous host, one common target."""
+    net = Network()
+    gw = net.add_router("gw")
+    controller = net.add_host("controller")
+    rendezvous_host = net.add_host("rendezvous")
+    target = net.add_host("target")
+    endpoint_a = net.add_host("endpoint-a", clock_offset=5.0)
+    endpoint_b = net.add_host("endpoint-b", clock_offset=-3.0)
+    net.link(gw, controller, bandwidth_bps=1e9, delay=0.02)
+    net.link(gw, rendezvous_host, bandwidth_bps=1e9, delay=0.015)
+    net.link(gw, target, bandwidth_bps=1e9, delay=0.025)
+    net.link(gw, endpoint_a, bandwidth_bps=20e6, delay=0.01)
+    net.link(gw, endpoint_b, bandwidth_bps=5e6, delay=0.03)
+    net.compute_routes()
+    return net, gw, controller, rendezvous_host, target, endpoint_a, endpoint_b
+
+
+def main() -> None:
+    (net, gw, controller, rendezvous_host, target,
+     endpoint_a, endpoint_b) = build_world()
+
+    # The cast: two endpoint operators, a rendezvous operator, a visitor.
+    operator_a = KeyPair.from_name("university-A")
+    operator_b = KeyPair.from_name("isp-B")
+    rdz_operator = KeyPair.from_name("community-rendezvous")
+    visitor = Experimenter("visiting-researcher")
+
+    # Authorizations (Figure 1 steps 1-3). Operator B is more cautious:
+    # low priority cap and a small capture buffer.
+    visitor.granted_publish_access(rdz_operator)
+    visitor.granted_endpoint_access(operator_a, Restrictions(max_priority=5))
+    visitor.granted_endpoint_access(
+        operator_b, Restrictions(max_priority=1, buffer_limit=16 * 1024)
+    )
+
+    # Endpoints trust only their own operator.
+    ep_a = Endpoint(endpoint_a, EndpointConfig(
+        name="ep-A", trusted_key_ids=[operator_a.key_id]))
+    ep_b = Endpoint(endpoint_b, EndpointConfig(
+        name="ep-B", trusted_key_ids=[operator_b.key_id]))
+
+    # Community rendezvous server accepts the rendezvous operator's chain.
+    rdz = RendezvousServer(
+        rendezvous_host, 7100, trusted_publisher_key_ids=[rdz_operator.key_id]
+    ).start()
+    rdz_addr = rendezvous_host.primary_address()
+    ep_a.start_rendezvous(rdz_addr, 7100)
+    ep_b.start_rendezvous(rdz_addr, 7100)
+
+    # The visitor's experiment: ping the target from every vantage point.
+    from repro.controller.client import ControllerServer
+
+    descriptor = visitor.make_descriptor(controller, 7000, "multi-vantage-ping")
+    server = ControllerServer(controller, 7000, visitor.identity(
+        descriptor, priority=1)).start()
+
+    results = {}
+
+    def visitor_logic():
+        ok, reason = yield from visitor.publish(
+            controller, rdz_addr, 7100, descriptor
+        )
+        assert ok, reason
+        print(f"experiment published to rendezvous ({reason or 'accepted'})")
+        for _ in range(2):  # both endpoints will come calling
+            handle = yield server.wait_endpoint()
+            print(f"  endpoint {handle.endpoint_name!r} joined "
+                  f"(buffer limit {handle.buffer_limit} B)")
+            outcome = yield from ping(
+                handle, target.primary_address(), count=3
+            )
+            results[handle.endpoint_name] = outcome
+            handle.bye()
+        return None
+
+    net.sim.spawn(visitor_logic(), name="visitor")
+    net.run(until=120.0)
+
+    print("\nping results per vantage point:")
+    for name, outcome in sorted(results.items()):
+        print(f"  {name}: {outcome.received}/{outcome.sent} replies, "
+              f"min rtt {outcome.rtt_min * 1000:.1f} ms")
+
+    print("\n-- contention demo: operator A preempts the visitor (§3.3) --")
+    operator_self = Experimenter("operator-A-own-team")
+    operator_self.granted_endpoint_access(operator_a)  # no priority cap
+    own_desc = operator_self.make_descriptor(controller, 7001, "urgent-debug")
+    own_server = ControllerServer(controller, 7001, operator_self.identity(
+        own_desc, priority=9)).start()
+    long_desc = visitor.make_descriptor(controller, 7002, "long-running")
+    long_server = ControllerServer(controller, 7002, visitor.identity(
+        long_desc, priority=1)).start()
+
+    def long_running():
+        ep_a.connect_to_controller(controller.primary_address(), 7002)
+        handle = yield long_server.wait_endpoint()
+        yield from handle.read_clock()
+        yield 6.0  # sit around while the operator's experiment preempts us
+        yield from handle.read_clock()  # held during suspension
+        kinds = [type(n).__name__ for n in handle.notifications]
+        print(f"  visitor saw notifications: {kinds}")
+        handle.bye()
+
+    def urgent():
+        yield 1.0
+        ep_a.connect_to_controller(controller.primary_address(), 7001)
+        handle = yield own_server.wait_endpoint()
+        print(f"  operator experiment took control at t={net.sim.now:.1f}s")
+        yield 3.0
+        handle.bye()
+        print(f"  operator experiment done at t={net.sim.now:.1f}s")
+
+    net.sim.spawn(long_running(), name="long")
+    net.sim.spawn(urgent(), name="urgent")
+    net.run(until=300.0)
+    print(f"\npreemptions at ep-A: {ep_a.contention.preemptions}, "
+          f"resumptions: {ep_a.contention.resumptions}")
+
+
+if __name__ == "__main__":
+    main()

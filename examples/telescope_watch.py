@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""PacketLab as a passive network telescope (§3.1 mirror verdict).
+
+"The mirror option is useful because it allows PacketLab to be used as a
+passive packet capture interface, for example, to capture packets at a
+network telescope."
+
+A scanner host sweeps the endpoint's ports while the controller passively
+mirrors all arriving traffic. Because the filter verdict is *mirror*, the
+endpoint's OS still processes every packet (it answers with ICMP
+port-unreachable), so the observation is invisible to the scanner.
+
+Run:  python examples/telescope_watch.py
+"""
+
+from collections import Counter
+
+from repro.core import Testbed
+from repro.experiments import passive_capture
+from repro.packet.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.packet.tcp import TcpSegment
+from repro.packet.udp import UdpDatagram
+from repro.util.inet import format_ip
+
+PROTO_LABEL = {PROTO_UDP: "udp", PROTO_TCP: "tcp", PROTO_ICMP: "icmp"}
+
+
+def main() -> None:
+    testbed = Testbed()
+    endpoint_ip = testbed.endpoint_host.primary_address()
+    scanner = testbed.target_host
+
+    def scan():
+        """A port scanner probing the endpoint: UDP sweep then TCP SYNs."""
+        udp = scanner.udp.bind(0)
+        yield 0.5
+        for port in range(1000, 1010):
+            udp.sendto(b"probe", endpoint_ip, port)
+            yield 0.1
+        for port in (22, 80, 443):
+            conn = scanner.tcp.connect(endpoint_ip, port)
+            yield 0.3
+            conn.abort()
+
+    testbed.sim.spawn(scan(), name="scanner")
+
+    def experiment(handle):
+        print("passively mirroring endpoint traffic for 5 s of endpoint time...")
+        capture = yield from passive_capture(handle, duration=5.0)
+        return capture
+
+    capture = testbed.run_experiment(experiment, "telescope")
+
+    print(f"\ncaptured {capture.count} packets "
+          f"({capture.dropped_packets} dropped at the buffer)")
+    by_proto = Counter(PROTO_LABEL.get(c.packet.proto, "other")
+                       for c in capture.packets)
+    print(f"by protocol: {dict(by_proto)}")
+    print(f"observed sources: "
+          f"{sorted(format_ip(s) for s in capture.sources())}")
+
+    print("\nscan events:")
+    for captured in capture.packets:
+        packet = captured.packet
+        if packet.proto == PROTO_UDP:
+            datagram = UdpDatagram.decode(packet.payload, packet.src,
+                                          packet.dst, verify_checksum=False)
+            what = f"udp probe -> port {datagram.dst_port}"
+        elif packet.proto == PROTO_TCP:
+            segment = TcpSegment.decode(packet.payload, verify_checksum=False)
+            from repro.packet.tcp import flag_names
+
+            what = f"tcp {flag_names(segment.flags)} -> port {segment.dst_port}"
+        else:
+            continue
+        print(f"  t={captured.timestamp / 1e9:9.3f}s  "
+              f"{format_ip(packet.src):15s} {what}")
+
+    # The mirror verdict left the OS untouched: it answered the UDP sweep.
+    answered = testbed.endpoint_host.udp.port_unreachable_sent
+    print(f"\nendpoint OS answered {answered} UDP probes with "
+          f"port-unreachable — the capture was invisible to the scanner")
+
+
+if __name__ == "__main__":
+    main()

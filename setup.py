@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` works through this shim even when
+PEP 517 editable builds are unavailable (no ``wheel`` installed, offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""PacketLab (IMC 2017) reproduction: a universal measurement endpoint
+interface, complete with the simulated Internet it runs on.
+
+Public API highlights:
+
+- :mod:`repro.core` — high-level testbed assembly and experiment running.
+- :mod:`repro.endpoint` — the measurement endpoint agent (Table 1 interface).
+- :mod:`repro.controller` — the experiment controller library.
+- :mod:`repro.rendezvous` — the publish/subscribe rendezvous server.
+- :mod:`repro.crypto` — certificates and delegation (Figure 1).
+- :mod:`repro.cpf` / :mod:`repro.filtervm` — the monitor language and VM
+  (Figure 2).
+- :mod:`repro.experiments` — ping, traceroute, bandwidth, DNS, HTTP,
+  telescope experiments built on the controller API.
+- :mod:`repro.netsim` — the discrete-event network simulator substrate.
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazy top-level conveniences: ``from repro import Testbed``."""
+    if name == "Testbed":
+        from repro.core import Testbed
+
+        return Testbed
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,22 @@
+"""On-endpoint baselines (the PlanetLab/Scriptroute model) used as
+comparators for PacketLab's reactive-latency limitation (§3.5)."""
+
+from repro.baselines.native import (
+    ChallengeServer,
+    PacedServer,
+    native_challenge_client,
+    native_paced_client,
+    native_ping,
+    packetlab_challenge_client,
+    packetlab_paced_client,
+)
+
+__all__ = [
+    "ChallengeServer",
+    "PacedServer",
+    "native_challenge_client",
+    "native_paced_client",
+    "native_ping",
+    "packetlab_challenge_client",
+    "packetlab_paced_client",
+]

@@ -1,0 +1,220 @@
+"""The on-endpoint baseline: today's PlanetLab/Scriptroute model.
+
+"Most measurement platforms today follow the PlanetLab model, where
+experiments run on the endpoint rather than on a separate controller"
+(§3.5). These baselines run measurement logic *directly on the endpoint
+host*, with no controller round trips, and serve as the comparator for the
+paper's admitted limitation: reactive experiments under PacketLab pay the
+endpoint-controller RTT per reaction.
+
+The canonical reactive workload is a challenge/response exchange: the
+target issues an unpredictable nonce that the client must echo back. The
+response *depends on* received data, so a PacketLab controller must see
+the nonce before it can command the reply — one controller round trip the
+native client never pays. The paper's rebuttal is also here: when the
+exchange does not depend on received data, the PacketLab controller
+pre-schedules everything and matches the native client.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.controller.client import EndpointHandle
+from repro.netsim.clock import NANOSECONDS
+from repro.netsim.node import Node
+from repro.packet.icmp import ICMP_ECHO_REPLY, IcmpMessage
+
+CHALLENGE_HELLO = b"HELLO"
+CHALLENGE_DONE = b"DONE"
+
+
+@dataclass
+class ChallengeServer:
+    """UDP challenge/response server measuring client reaction time.
+
+    Protocol: client sends ``HELLO``; server replies with an 8-byte nonce;
+    client echoes the nonce back; server replies ``DONE``. The server
+    records, per transaction, the time between issuing the nonce and
+    receiving its echo — the client's reaction latency.
+    """
+
+    node: Node
+    port: int
+    seed: int = 0
+    reaction_times: list[float] = field(default_factory=list)
+    transactions: int = 0
+
+    def start(self) -> "ChallengeServer":
+        rng = random.Random(self.seed)
+
+        def server() -> Generator:
+            sock = self.node.udp.bind(self.port)
+            outstanding: dict[tuple[int, int], tuple[bytes, float]] = {}
+            while True:
+                payload, src_ip, src_port, _ = yield sock.recvfrom()
+                key = (src_ip, src_port)
+                if payload == CHALLENGE_HELLO:
+                    nonce = rng.getrandbits(64).to_bytes(8, "big")
+                    outstanding[key] = (nonce, self.node.sim.now)
+                    sock.sendto(nonce, src_ip, src_port)
+                elif key in outstanding and payload == outstanding[key][0]:
+                    _, issued = outstanding.pop(key)
+                    self.reaction_times.append(self.node.sim.now - issued)
+                    self.transactions += 1
+                    sock.sendto(CHALLENGE_DONE, src_ip, src_port)
+
+        self.node.spawn(server(), name=f"challenge:{self.port}")
+        return self
+
+
+def native_challenge_client(
+    node: Node, server_addr: int, server_port: int
+) -> Generator:
+    """On-endpoint client: react to the nonce locally (no controller).
+
+    Returns the client-observed completion time (sim seconds).
+    """
+    sock = node.udp.bind(0)
+    start = node.sim.now
+    sock.sendto(CHALLENGE_HELLO, server_addr, server_port)
+    nonce, src_ip, src_port, _ = yield sock.recvfrom()
+    sock.sendto(nonce, src_ip, src_port)
+    done, _, _, _ = yield sock.recvfrom()
+    sock.close()
+    return node.sim.now - start
+
+
+def packetlab_challenge_client(
+    handle: EndpointHandle,
+    server_addr: int,
+    server_port: int,
+    sktid: int = 0,
+    timeout: float = 10.0,
+) -> Generator:
+    """PacketLab client: the nonce must travel to the controller before
+    the echo can be commanded — the §3.5 reactive-latency cost."""
+    status = yield from handle.nopen_udp(
+        sktid, locport=0, remaddr=server_addr, remport=server_port
+    )
+    handle.expect_ok(status, "nopen")
+    t0 = yield from handle.read_clock()
+    deadline = t0 + int(timeout * NANOSECONDS)
+    yield from handle.nsend(sktid, 0, CHALLENGE_HELLO)
+    nonce: Optional[bytes] = None
+    while nonce is None:
+        poll = yield from handle.npoll(deadline)
+        for record in poll.records:
+            if len(record.data) == 8:
+                nonce = record.data
+                break
+        if poll.records == () and (yield from handle.read_clock()) >= deadline:
+            break
+    if nonce is None:
+        yield from handle.nclose(sktid)
+        raise RuntimeError("challenge nonce never arrived")
+    yield from handle.nsend(sktid, 0, nonce)
+    done = None
+    while done is None:
+        poll = yield from handle.npoll(deadline)
+        for record in poll.records:
+            if record.data == CHALLENGE_DONE:
+                done = record
+                break
+        if poll.records == () and (yield from handle.read_clock()) >= deadline:
+            break
+    yield from handle.nclose(sktid)
+    return done is not None
+
+
+@dataclass
+class PacedServer:
+    """Non-reactive counterpart: the server just expects two packets a
+    fixed interval apart (no data dependency), and records the interval
+    accuracy. A PacketLab controller pre-schedules both sends."""
+
+    node: Node
+    port: int
+    intervals: list[float] = field(default_factory=list)
+
+    def start(self) -> "PacedServer":
+        def server() -> Generator:
+            sock = self.node.udp.bind(self.port)
+            last: dict[tuple[int, int], float] = {}
+            while True:
+                payload, src_ip, src_port, _ = yield sock.recvfrom()
+                key = (src_ip, src_port)
+                now = self.node.sim.now
+                if key in last:
+                    self.intervals.append(now - last.pop(key))
+                else:
+                    last[key] = now
+
+        self.node.spawn(server(), name=f"paced:{self.port}")
+        return self
+
+
+def native_paced_client(
+    node: Node, server_addr: int, server_port: int, gap: float
+) -> Generator:
+    """On-endpoint client sending two packets ``gap`` seconds apart."""
+    sock = node.udp.bind(0)
+    sock.sendto(b"first", server_addr, server_port)
+    yield gap
+    sock.sendto(b"second", server_addr, server_port)
+    sock.close()
+    return None
+
+
+def packetlab_paced_client(
+    handle: EndpointHandle,
+    server_addr: int,
+    server_port: int,
+    gap: float,
+    sktid: int = 0,
+    lead: float = 0.5,
+) -> Generator:
+    """PacketLab client: both sends pre-scheduled with nsend times — no
+    dependency on received data, so no reactive penalty (§3.5)."""
+    status = yield from handle.nopen_udp(
+        sktid, locport=0, remaddr=server_addr, remport=server_port
+    )
+    handle.expect_ok(status, "nopen")
+    t0 = yield from handle.read_clock()
+    first = t0 + int(lead * NANOSECONDS)
+    second = first + int(gap * NANOSECONDS)
+    yield from handle.nsend(sktid, first, b"first")
+    yield from handle.nsend(sktid, second, b"second")
+    yield lead + gap + 1.0
+    yield from handle.nclose(sktid)
+    return None
+
+
+def native_ping(
+    node: Node, destination: int, count: int = 4, interval: float = 0.2,
+    timeout: float = 2.0,
+) -> Generator:
+    """On-endpoint ping using the host stack directly (baseline for E2)."""
+    ident = 0x6E70  # "np"
+    send_times: dict[int, float] = {}
+    rtts: dict[int, float] = {}
+
+    def listener(packet, message: IcmpMessage) -> None:
+        if (
+            message.icmp_type == ICMP_ECHO_REPLY
+            and message.echo_ident == ident
+            and message.echo_seq in send_times
+            and message.echo_seq not in rtts
+        ):
+            rtts[message.echo_seq] = node.sim.now - send_times[message.echo_seq]
+
+    node.icmp.add_listener(listener)
+    for seq in range(1, count + 1):
+        send_times[seq] = node.sim.now
+        node.icmp.send_echo_request(destination, ident, seq)
+        yield interval
+    yield timeout
+    node.icmp.remove_listener(listener)
+    return [rtts.get(seq) for seq in range(1, count + 1)]

@@ -1,0 +1,19 @@
+"""Old-model compatibility: BSD-style sockets backed by PacketLab
+commands — the library §3.5 promises for developers who want to keep
+writing sequential socket code."""
+
+from repro.compat.sockets import (
+    CompatDatagramSocket,
+    CompatError,
+    CompatRawSocket,
+    CompatStack,
+    CompatStreamSocket,
+)
+
+__all__ = [
+    "CompatDatagramSocket",
+    "CompatError",
+    "CompatRawSocket",
+    "CompatStack",
+    "CompatStreamSocket",
+]

@@ -1,0 +1,28 @@
+"""Experiment controllers: where all PacketLab experiment logic lives."""
+
+from repro.controller.client import (
+    CommandError,
+    ControllerServer,
+    EndpointHandle,
+    ExperimentIdentity,
+    SessionClosed,
+)
+from repro.controller.clocksync import (
+    ClockEstimate,
+    ClockSample,
+    estimate_clock,
+)
+from repro.controller.session import Experimenter, OperatorGrant
+
+__all__ = [
+    "ClockEstimate",
+    "ClockSample",
+    "CommandError",
+    "ControllerServer",
+    "EndpointHandle",
+    "Experimenter",
+    "ExperimentIdentity",
+    "OperatorGrant",
+    "SessionClosed",
+    "estimate_clock",
+]

@@ -1,0 +1,355 @@
+"""Experiment controller: the brain of every PacketLab experiment.
+
+"All experiment logic is located on the experiment controller so that the
+measurement endpoint interface can remain simple and universal" (§3.1).
+
+A :class:`ControllerServer` listens for incoming endpoint connections
+(endpoints contact controllers, per §3.2), authenticates each with the
+experiment's descriptor and certificate chain, and hands experiment code an
+:class:`EndpointHandle` — the controller-side API mirroring Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Union
+
+from repro.filtervm.program import FilterProgram
+from repro.netsim.kernel import Event, Queue, any_of
+from repro.netsim.node import Node
+from repro.netsim.stack.tcp import TcpError
+from repro.proto.constants import (
+    SOCK_RAW,
+    SOCK_TCP,
+    SOCK_UDP,
+    ST_OK,
+    STATUS_NAMES,
+)
+from repro.proto.framing import FramingError, MessageStream
+from repro.proto.messages import (
+    Auth,
+    AuthFail,
+    AuthOk,
+    Bye,
+    Hello,
+    Interrupted,
+    Message,
+    MRead,
+    MWrite,
+    NCap,
+    NClose,
+    NOpen,
+    NPoll,
+    NSend,
+    PollData,
+    Result,
+    Resumed,
+    SessionEnd,
+    Yield,
+)
+from repro.endpoint.memory import OFF_CLOCK
+
+
+class CommandError(Exception):
+    """A Table 1 command returned a non-OK status."""
+
+    def __init__(self, command: str, status: int) -> None:
+        name = STATUS_NAMES.get(status, str(status))
+        super().__init__(f"{command} failed: {name}")
+        self.status = status
+
+
+class SessionClosed(Exception):
+    """The endpoint session ended while a command was outstanding."""
+
+
+@dataclass
+class ExperimentIdentity:
+    """What a controller presents to endpoints: descriptor + chains.
+
+    One chain per endpoint operator who delegated access; endpoints
+    accept whichever chain anchors in their own trust store.
+    """
+
+    descriptor_bytes: bytes
+    chain_bytes_list: tuple[bytes, ...]
+    priority: int = 0
+
+
+class EndpointHandle:
+    """Controller-side view of one endpoint session (Table 1 API).
+
+    All command methods are generators: ``status = yield from
+    handle.nopen_raw(0)`` inside a simulated process.
+    """
+
+    def __init__(self, node: Node, stream: MessageStream, hello: Hello,
+                 session_id: int, buffer_limit: int) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.stream = stream
+        self.hello = hello
+        self.session_id = session_id
+        self.buffer_limit = buffer_limit
+        self.endpoint_name = hello.endpoint_name
+        self.caps = hello.caps
+
+        self._next_reqid = 1
+        self._pending: dict[int, Event] = {}
+        self._outbox: Queue = node.sim.queue(name="ctl-outbox")
+        self.closed = False
+        self.interrupted = False
+        self.end_reason: Optional[str] = None
+        self._interruption_events: list[Event] = []
+        self.notifications: list[Message] = []
+        # Records pushed by a streaming-mode endpoint (reqid-0 PollData).
+        self.streamed_records: list = []
+        node.spawn(self._reader_loop(), name="ctl-reader")
+        node.spawn(self._writer_loop(), name="ctl-writer")
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _reader_loop(self) -> Generator:
+        while True:
+            try:
+                message = yield from self.stream.recv()
+            except (TcpError, FramingError):
+                break
+            if message is None:
+                break
+            if isinstance(message, PollData) and message.reqid == 0:
+                self.streamed_records.extend(message.records)
+                continue
+            if isinstance(message, (Result, PollData)):
+                waiter = self._pending.pop(message.reqid, None)
+                if waiter is not None:
+                    waiter.fire(message)
+                continue
+            self.notifications.append(message)
+            if isinstance(message, Interrupted):
+                self.interrupted = True
+            elif isinstance(message, Resumed):
+                self.interrupted = False
+                waiters, self._interruption_events = self._interruption_events, []
+                for event in waiters:
+                    event.fire(None)
+            elif isinstance(message, SessionEnd):
+                self.end_reason = message.reason
+        self._close_pending()
+
+    def _writer_loop(self) -> Generator:
+        while True:
+            message = yield self._outbox.get()
+            if message is None:
+                return
+            try:
+                yield from self.stream.send(message)
+            except TcpError:
+                self._close_pending()
+                return
+
+    def _close_pending(self) -> None:
+        self.closed = True
+        pending, self._pending = self._pending, {}
+        for event in pending.values():
+            event.fire(None)
+
+    def _request(self, message: Message, reqid: int) -> Generator:
+        """Send a command and wait for its matched response."""
+        if self.closed:
+            raise SessionClosed("endpoint session is closed")
+        waiter = self.sim.event(name=f"req-{reqid}")
+        self._pending[reqid] = waiter
+        self._outbox.put(message)
+        response = yield waiter
+        if response is None:
+            raise SessionClosed("endpoint session ended mid-command")
+        return response
+
+    def _reqid(self) -> int:
+        reqid = self._next_reqid
+        self._next_reqid += 1
+        return reqid
+
+    # -- Table 1 commands -------------------------------------------------------
+
+    def nopen(self, sktid: int, proto: int, locport: int = 0,
+              remaddr: int = 0, remport: int = 0) -> Generator:
+        reqid = self._reqid()
+        response = yield from self._request(
+            NOpen(reqid=reqid, sktid=sktid, proto=proto, locport=locport,
+                  remaddr=remaddr, remport=remport),
+            reqid,
+        )
+        return response.status
+
+    def nopen_raw(self, sktid: int) -> Generator:
+        return (yield from self.nopen(sktid, SOCK_RAW))
+
+    def nopen_udp(self, sktid: int, locport: int = 0, remaddr: int = 0,
+                  remport: int = 0) -> Generator:
+        return (yield from self.nopen(sktid, SOCK_UDP, locport, remaddr, remport))
+
+    def nopen_tcp(self, sktid: int, remaddr: int, remport: int,
+                  locport: int = 0) -> Generator:
+        return (yield from self.nopen(sktid, SOCK_TCP, locport, remaddr, remport))
+
+    def nclose(self, sktid: int) -> Generator:
+        reqid = self._reqid()
+        response = yield from self._request(NClose(reqid=reqid, sktid=sktid), reqid)
+        return response.status
+
+    def nsend(self, sktid: int, time_ticks: int, data: bytes) -> Generator:
+        reqid = self._reqid()
+        response = yield from self._request(
+            NSend(reqid=reqid, sktid=sktid, time=time_ticks, data=data), reqid
+        )
+        return response.status
+
+    def nsend_nowait(self, sktid: int, time_ticks: int, data: bytes) -> None:
+        """Pipelined nsend: queue the command without awaiting its Result.
+
+        Used when streaming many sends back-to-back (the Result for an
+        unawaited reqid is discarded by the reader loop).
+        """
+        self._outbox.put(
+            NSend(reqid=self._reqid(), sktid=sktid, time=time_ticks, data=data)
+        )
+
+    def ncap(self, sktid: int, time_ticks: int,
+             filt: Union[FilterProgram, bytes]) -> Generator:
+        program = filt.encode() if isinstance(filt, FilterProgram) else filt
+        reqid = self._reqid()
+        response = yield from self._request(
+            NCap(reqid=reqid, sktid=sktid, time=time_ticks, filt=program), reqid
+        )
+        return response.status
+
+    def npoll(self, time_ticks: int) -> Generator:
+        """Returns the PollData response (records + drop accounting)."""
+        reqid = self._reqid()
+        response = yield from self._request(NPoll(reqid=reqid, time=time_ticks), reqid)
+        if not isinstance(response, PollData):
+            raise CommandError("npoll", getattr(response, "status", -1))
+        return response
+
+    def mread(self, memaddr: int, bytecnt: int) -> Generator:
+        reqid = self._reqid()
+        response = yield from self._request(
+            MRead(reqid=reqid, memaddr=memaddr, bytecnt=bytecnt), reqid
+        )
+        if response.status != ST_OK:
+            raise CommandError("mread", response.status)
+        return response.payload
+
+    def mwrite(self, memaddr: int, data: bytes) -> Generator:
+        reqid = self._reqid()
+        response = yield from self._request(
+            MWrite(reqid=reqid, memaddr=memaddr, data=data), reqid
+        )
+        return response.status
+
+    # -- conveniences ---------------------------------------------------------------
+
+    def read_clock(self) -> Generator:
+        """Read the endpoint's 64-bit clock (ns ticks) via mread (§3.1)."""
+        data = yield from self.mread(OFF_CLOCK, 8)
+        return int.from_bytes(data, "big")
+
+    def expect_ok(self, status: int, command: str) -> None:
+        if status != ST_OK:
+            raise CommandError(command, status)
+
+    def wait_resumed(self) -> Generator:
+        """Block until an interruption ends (§3.3)."""
+        if not self.interrupted:
+            return None
+        event = self.sim.event(name="wait-resumed")
+        self._interruption_events.append(event)
+        yield event
+        return None
+
+    def yield_control(self) -> None:
+        self._outbox.put(Yield())
+
+    def bye(self) -> None:
+        self._outbox.put(Bye())
+
+
+class ControllerServer:
+    """Accepts endpoint connections for one experiment.
+
+    Experiment controllers are ephemeral (§1): create one, run the
+    experiment over the handles it yields, tear it down.
+    """
+
+    def __init__(self, node: Node, port: int, identity: ExperimentIdentity) -> None:
+        self.node = node
+        self.port = port
+        self.identity = identity
+        self.endpoints: Queue = node.sim.queue(name="controller-endpoints")
+        self.auth_failures: list[str] = []
+        self._listener = None
+        self._accept_proc = None
+
+    def start(self) -> "ControllerServer":
+        self._listener = self.node.tcp.listen(self.port)
+        self._accept_proc = self.node.spawn(self._accept_loop(), name="ctl-accept")
+        return self
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            conn = yield self._listener.accept()
+            self.node.spawn(self._handshake(conn), name="ctl-handshake")
+
+    def _handshake(self, conn) -> Generator:
+        stream = MessageStream(conn)
+        try:
+            hello = yield from stream.recv()
+        except (TcpError, FramingError):
+            conn.close()
+            return
+        if not isinstance(hello, Hello):
+            conn.close()
+            return
+        from repro.proto.constants import PROTOCOL_VERSION
+
+        if hello.version != PROTOCOL_VERSION:
+            self.auth_failures.append(
+                f"protocol version mismatch: endpoint speaks {hello.version}"
+            )
+            conn.close()
+            return
+        yield from stream.send(
+            Auth(
+                descriptor=self.identity.descriptor_bytes,
+                chains=self.identity.chain_bytes_list,
+                priority=self.identity.priority,
+            )
+        )
+        try:
+            response = yield from stream.recv()
+        except (TcpError, FramingError):
+            conn.close()
+            return
+        if isinstance(response, AuthOk):
+            handle = EndpointHandle(
+                self.node, stream, hello, response.session_id,
+                response.buffer_limit,
+            )
+            self.endpoints.put(handle)
+        elif isinstance(response, AuthFail):
+            self.auth_failures.append(response.reason)
+            conn.close()
+        else:
+            conn.close()
+
+    def wait_endpoint(self) -> Event:
+        """Event yielding the next authenticated EndpointHandle."""
+        return self.endpoints.get()
+
+    def stop(self) -> None:
+        if self._accept_proc is not None:
+            self._accept_proc.kill()
+        if self._listener is not None:
+            self._listener.close()

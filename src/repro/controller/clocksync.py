@@ -1,0 +1,107 @@
+"""Controller-side clock synchronization (§3.1 Timekeeping).
+
+"PacketLab does not require endpoints to keep accurate time... If an
+experiment requires accurate timing, the experiment controller should
+start by determining its clock offset with respect to the endpoint using a
+clock synchronization algorithm such as NTP."
+
+:func:`estimate_clock` implements the NTP-style estimator: repeated clock
+reads over the control channel, offset from the minimum-RTT sample, and a
+least-squares skew estimate across the probe window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.netsim.clock import HostClock, NANOSECONDS
+
+
+@dataclass
+class ClockSample:
+    controller_midpoint: float  # controller-local time at probe midpoint
+    endpoint_time: float  # endpoint-local seconds from the tick counter
+    rtt: float
+    offset: float  # endpoint_time - controller_midpoint
+
+
+@dataclass
+class ClockEstimate:
+    """Mapping between controller-local and endpoint-local time."""
+
+    offset: float  # endpoint_local - controller_local at reference time
+    skew: float  # d(endpoint)/d(controller) - 1
+    reference: float  # controller-local time the offset refers to
+    rtt_min: float
+    samples: list[ClockSample]
+
+    def endpoint_time_at(self, controller_time: float) -> float:
+        """Predict the endpoint's local clock at a controller-local time."""
+        elapsed = controller_time - self.reference
+        return controller_time + self.offset + self.skew * elapsed
+
+    def endpoint_ticks_at(self, controller_time: float) -> int:
+        return int(self.endpoint_time_at(controller_time) * NANOSECONDS)
+
+    def controller_time_for(self, endpoint_time: float) -> float:
+        """Invert: when (controller-local) does the endpoint clock read
+        ``endpoint_time``? First-order inversion, adequate for ppm skews."""
+        approx = endpoint_time - self.offset
+        correction = self.skew * (approx - self.reference)
+        return approx - correction
+
+
+def estimate_clock(
+    handle,
+    controller_clock: HostClock,
+    probes: int = 8,
+    spacing: float = 0.05,
+) -> Generator:
+    """NTP-style estimation of the endpoint clock over the control channel.
+
+    ``handle`` is an :class:`~repro.controller.client.EndpointHandle`. Use
+    with ``estimate = yield from estimate_clock(...)``.
+    """
+    if probes < 2:
+        raise ValueError("need at least 2 probes")
+    samples: list[ClockSample] = []
+    for index in range(probes):
+        t_send = controller_clock.now()
+        ticks = yield from handle.read_clock()
+        t_recv = controller_clock.now()
+        rtt = t_recv - t_send
+        midpoint = (t_send + t_recv) / 2
+        endpoint_time = ticks / NANOSECONDS
+        samples.append(
+            ClockSample(
+                controller_midpoint=midpoint,
+                endpoint_time=endpoint_time,
+                rtt=rtt,
+                offset=endpoint_time - midpoint,
+            )
+        )
+        if index != probes - 1:
+            yield spacing
+    best = min(samples, key=lambda sample: sample.rtt)
+    # Least-squares slope of endpoint_time against controller_midpoint
+    # gives (1 + skew).
+    n = len(samples)
+    mean_x = sum(sample.controller_midpoint for sample in samples) / n
+    mean_y = sum(sample.endpoint_time for sample in samples) / n
+    var_x = sum((sample.controller_midpoint - mean_x) ** 2 for sample in samples)
+    if var_x > 0:
+        cov = sum(
+            (sample.controller_midpoint - mean_x) * (sample.endpoint_time - mean_y)
+            for sample in samples
+        )
+        skew = cov / var_x - 1.0
+    else:
+        skew = 0.0
+    return ClockEstimate(
+        offset=best.offset,
+        skew=skew,
+        reference=best.controller_midpoint,
+        rtt_min=best.rtt,
+        samples=samples,
+    )

@@ -1,0 +1,9 @@
+"""High-level public API: testbed assembly and experiment running."""
+
+from repro.core.testbed import (
+    DEFAULT_CONTROLLER_PORT,
+    DEFAULT_RENDEZVOUS_PORT,
+    Testbed,
+)
+
+__all__ = ["DEFAULT_CONTROLLER_PORT", "DEFAULT_RENDEZVOUS_PORT", "Testbed"]

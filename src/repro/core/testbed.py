@@ -1,0 +1,187 @@
+"""One-stop PacketLab testbed assembly.
+
+A :class:`Testbed` wires a full deployment on a simulated network: an
+endpoint behind an access link, a controller host, a measurement target, an
+endpoint operator key, and an experimenter with a delegation — the Figure 1
+cast. Experiments, examples, and benchmarks all build on it.
+
+Typical use::
+
+    testbed = Testbed()
+    def experiment(handle):
+        ticks = yield from handle.read_clock()
+        ...
+        return result
+    result = testbed.run_experiment(experiment)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.controller.client import ControllerServer, EndpointHandle
+from repro.controller.session import Experimenter
+from repro.crypto.certificate import Restrictions
+from repro.crypto.keys import KeyPair
+from repro.endpoint.config import EndpointConfig
+from repro.endpoint.endpoint import Endpoint
+from repro.netsim.kernel import SimError
+from repro.netsim.node import Node
+from repro.netsim.topology import Network, access_topology
+from repro.rendezvous.descriptor import ExperimentDescriptor
+from repro.rendezvous.server import RendezvousServer
+
+DEFAULT_CONTROLLER_PORT = 7000
+DEFAULT_RENDEZVOUS_PORT = 7100
+
+
+class Testbed:
+    """A ready-to-run PacketLab deployment on a simulated access network."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        access_bandwidth_bps: float = 10e6,
+        access_delay: float = 0.010,
+        core_delay: float = 0.020,
+        uplink_bandwidth_bps: Optional[float] = None,
+        access_jitter: float = 0.0,
+        endpoint_clock_offset: float = 0.0,
+        endpoint_clock_skew: float = 0.0,
+        capture_buffer_bytes: int = 64 * 1024,
+        allow_raw: bool = True,
+        network: Optional[Network] = None,
+        endpoint_host: Optional[Node] = None,
+        controller_host: Optional[Node] = None,
+        target_host: Optional[Node] = None,
+    ) -> None:
+        if network is None:
+            network, endpoint_host, controller_host, target_host = access_topology(
+                access_bandwidth_bps=access_bandwidth_bps,
+                access_delay=access_delay,
+                core_delay=core_delay,
+                uplink_bandwidth_bps=uplink_bandwidth_bps,
+                access_jitter=access_jitter,
+            )
+        assert endpoint_host is not None
+        assert controller_host is not None
+        assert target_host is not None
+        self.net = network
+        self.sim = network.sim
+        self.endpoint_host = endpoint_host
+        self.controller_host = controller_host
+        self.target_host = target_host
+        # Endpoint clocks are deliberately imperfect (§3.1 Timekeeping).
+        self.endpoint_host.clock.offset = endpoint_clock_offset
+        self.endpoint_host.clock.skew = endpoint_clock_skew
+
+        # Figure 1 cast.
+        self.operator = KeyPair.from_name("endpoint-operator")
+        self.rendezvous_operator = KeyPair.from_name("rendezvous-operator")
+        self.experimenter = Experimenter("experimenter")
+        self.experimenter.granted_endpoint_access(self.operator)
+        self.experimenter.granted_publish_access(self.rendezvous_operator)
+
+        self.endpoint_config = EndpointConfig(
+            name="ep0",
+            trusted_key_ids=[self.operator.key_id],
+            capture_buffer_bytes=capture_buffer_bytes,
+            allow_raw=allow_raw,
+        )
+        self.endpoint = Endpoint(self.endpoint_host, self.endpoint_config)
+        self.rendezvous: Optional[RendezvousServer] = None
+        self._next_port = DEFAULT_CONTROLLER_PORT
+
+    # -- component helpers --------------------------------------------------
+
+    def allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def make_controller(
+        self,
+        experiment_name: str = "experiment",
+        priority: int = 0,
+        port: Optional[int] = None,
+        experiment_restrictions: Optional[Restrictions] = None,
+        controller_host: Optional[Node] = None,
+        experimenter: Optional[Experimenter] = None,
+    ) -> tuple[ControllerServer, ExperimentDescriptor]:
+        """Start a ControllerServer for a named experiment."""
+        host = controller_host or self.controller_host
+        who = experimenter or self.experimenter
+        port = port or self.allocate_port()
+        descriptor = who.make_descriptor(host, port, experiment_name)
+        identity = who.identity(
+            descriptor,
+            priority=priority,
+            experiment_restrictions=experiment_restrictions,
+        )
+        server = ControllerServer(host, port, identity).start()
+        return server, descriptor
+
+    def start_rendezvous(self, port: int = DEFAULT_RENDEZVOUS_PORT,
+                         host: Optional[Node] = None) -> RendezvousServer:
+        """Start a rendezvous server (on the controller host by default)."""
+        node = host or self.controller_host
+        self.rendezvous = RendezvousServer(
+            node, port, trusted_publisher_key_ids=[self.rendezvous_operator.key_id]
+        ).start()
+        return self.rendezvous
+
+    def connect_endpoint(self, descriptor: ExperimentDescriptor):
+        """Point the endpoint directly at a controller (no rendezvous)."""
+        return self.endpoint.connect_to_controller(
+            descriptor.controller_addr,
+            descriptor.controller_port,
+            descriptor.hash(),
+        )
+
+    @property
+    def target_address(self) -> int:
+        return self.target_host.primary_address()
+
+    # -- experiment driving ----------------------------------------------------
+
+    def run_experiment(
+        self,
+        experiment: Callable[[EndpointHandle], Generator],
+        experiment_name: str = "experiment",
+        priority: int = 0,
+        experiment_restrictions: Optional[Restrictions] = None,
+        timeout: float = 600.0,
+        send_bye: bool = True,
+    ):
+        """Run one experiment function against the testbed endpoint.
+
+        ``experiment`` is a generator function taking an
+        :class:`EndpointHandle`; its return value is returned here. The
+        controller is started, the endpoint connects, the experiment runs,
+        and the session is closed.
+        """
+        server, descriptor = self.make_controller(
+            experiment_name,
+            priority=priority,
+            experiment_restrictions=experiment_restrictions,
+        )
+        self.connect_endpoint(descriptor)
+
+        def driver() -> Generator:
+            handle = yield server.wait_endpoint()
+            try:
+                result = yield from experiment(handle)
+            finally:
+                if send_bye and not handle.closed:
+                    handle.bye()
+            return result
+
+        result = self.sim.run_process(
+            driver(), name=f"experiment-{experiment_name}", timeout=timeout
+        )
+        server.stop()
+        return result
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)

@@ -1,0 +1,31 @@
+"""Cpf: the C-like monitor language (§3.4) and its compiler.
+
+Cpf "uses C syntax and semantics, but omits features like function pointers
+that are not necessary for creating monitor programs". This package is a
+complete front end for that subset — lexer, parser, struct layouts with
+bitfields, and a code generator targeting the filter VM — plus the standard
+prelude (``union packet``, ``struct plinfo``, netinet constants) that lets
+Figure 2 of the paper compile verbatim.
+"""
+
+from repro.cpf.codegen import CpfCompileError
+from repro.cpf.compiler import (
+    FIGURE2_CORRECTED,
+    FIGURE2_VERBATIM,
+    compile_cpf,
+    figure2_monitor,
+)
+from repro.cpf.lexer import CpfSyntaxError
+from repro.cpf.stdlib import PRELUDE_SOURCE, packet_union, plinfo_struct
+
+__all__ = [
+    "CpfCompileError",
+    "CpfSyntaxError",
+    "FIGURE2_CORRECTED",
+    "FIGURE2_VERBATIM",
+    "PRELUDE_SOURCE",
+    "compile_cpf",
+    "figure2_monitor",
+    "packet_union",
+    "plinfo_struct",
+]

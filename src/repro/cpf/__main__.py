@@ -1,0 +1,84 @@
+"""Cpf compiler command line: ``python -m repro.cpf``.
+
+Compiles a Cpf monitor/filter source file into a serialized filter VM
+program (the bytes that go into a certificate's monitor restriction or an
+``ncap`` command), with options to disassemble or to test entry points
+against a hex-encoded packet.
+
+Examples::
+
+    python -m repro.cpf monitor.c -o monitor.plf
+    python -m repro.cpf monitor.c --disasm
+    python -m repro.cpf monitor.c --run send --packet 4500...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cpf.codegen import CpfCompileError
+from repro.cpf.compiler import compile_cpf
+from repro.cpf.lexer import CpfSyntaxError
+from repro.filtervm import BytesInfo, FilterVM, disassemble
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cpf",
+        description="Compile Cpf monitor programs for the PacketLab filter VM",
+    )
+    parser.add_argument("source", help="Cpf source file (use '-' for stdin)")
+    parser.add_argument("-o", "--output",
+                        help="write the serialized program to this file")
+    parser.add_argument("--disasm", action="store_true",
+                        help="print the compiled program's assembly listing")
+    parser.add_argument("--run", metavar="ENTRY",
+                        help="invoke an entry point (send/recv/init)")
+    parser.add_argument("--packet", default="",
+                        help="hex packet bytes for --run")
+    parser.add_argument("--info", default="",
+                        help="hex info-block bytes for --run")
+    args = parser.parse_args(argv)
+
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        try:
+            with open(args.source, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.source}: {exc}", file=sys.stderr)
+            return 1
+
+    try:
+        program = compile_cpf(source)
+    except (CpfSyntaxError, CpfCompileError) as exc:
+        print(f"{args.source}: {exc}", file=sys.stderr)
+        return 1
+
+    encoded = program.encode()
+    print(
+        f"compiled: {len(program.code)} instructions, "
+        f"{program.globals_size} B globals, entry points "
+        f"{program.entry_points}, {len(encoded)} B serialized"
+    )
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(encoded)
+        print(f"wrote {args.output}")
+    if args.disasm:
+        print()
+        print(disassemble(program))
+    if args.run:
+        packet = bytes.fromhex(args.packet)
+        vm = FilterVM(program, info=BytesInfo(bytes.fromhex(args.info)))
+        vm.run_init()
+        verdict = vm.invoke(args.run, packet=packet, args=(0, len(packet)))
+        print(f"{args.run}({len(packet)}-byte packet) -> verdict {verdict}"
+              + (f" (fault: {vm.last_fault})" if vm.faults else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Cpf abstract syntax tree nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpf.types import CpfType
+
+
+@dataclass(frozen=True)
+class Node:
+    line: int
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Number(Node):
+    value: int
+    unsigned: bool = False  # 'u' suffix: C unsigned-literal semantics
+
+
+@dataclass(frozen=True)
+class Ident(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str  # "-", "~", "!", "+"
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    op: str  # "=", "+=", ...
+    target: "Expr"
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class Conditional(Node):
+    condition: "Expr"
+    then_value: "Expr"
+    else_value: "Expr"
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class MemberAccess(Node):
+    base: "Expr"
+    member: str
+    arrow: bool  # True for ->
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Cast(Node):
+    target_type: CpfType
+    operand: "Expr"
+
+
+Expr = (
+    Number | Ident | Unary | Binary | Assign | Conditional | Call
+    | MemberAccess | Index | Cast
+)
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExprStmt(Node):
+    expr: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class VarDecl(Node):
+    name: str
+    var_type: CpfType
+    init: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class If(Node):
+    condition: Expr
+    then_body: "Stmt"
+    else_body: Optional["Stmt"]
+
+
+@dataclass(frozen=True)
+class While(Node):
+    condition: Expr
+    body: "Stmt"
+
+
+@dataclass(frozen=True)
+class DoWhile(Node):
+    body: "Stmt"
+    condition: Expr
+
+
+@dataclass(frozen=True)
+class For(Node):
+    init: Optional["Stmt"]
+    condition: Optional[Expr]
+    step: Optional[Expr]
+    body: "Stmt"
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Break(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Block(Node):
+    statements: tuple["Stmt", ...]
+
+
+Stmt = ExprStmt | VarDecl | If | While | DoWhile | For | Return | Break | Continue | Block
+
+
+# -- top level ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobalDecl(Node):
+    name: str
+    var_type: CpfType
+    init: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class FunctionDef(Node):
+    name: str
+    return_type: CpfType
+    params: tuple[tuple[str, CpfType], ...]
+    body: Block
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    globals: tuple[GlobalDecl, ...]
+    functions: tuple[FunctionDef, ...]
+    constants: dict[str, int] = field(default_factory=dict)

@@ -1,0 +1,112 @@
+"""Cpf compiler driver: source text -> filter VM program.
+
+Also carries the paper's Figure 2 monitor source, both verbatim (with its
+dead-store bug — ``ping_dst`` is assigned *after* ``return len;``) and in
+corrected form. DESIGN.md discusses why both are kept: the verbatim program
+compiles fine but can never record the traceroute destination, so its
+``recv`` entry denies every reply — which our tests demonstrate.
+"""
+
+from __future__ import annotations
+
+from repro.cpf.codegen import CodeGen, CpfCompileError
+from repro.cpf.lexer import CpfSyntaxError
+from repro.cpf.parser import parse
+from repro.cpf.stdlib import prelude
+from repro.filtervm.program import FilterProgram
+
+
+def compile_cpf(source: str) -> FilterProgram:
+    """Compile Cpf source (with the standard prelude in scope) to a
+    verified filter VM program.
+
+    Raises :class:`~repro.cpf.lexer.CpfSyntaxError` on parse errors and
+    :class:`~repro.cpf.codegen.CpfCompileError` on semantic errors.
+    """
+    struct_tags, typedefs, constants = prelude()
+    program_ast = parse(
+        source,
+        struct_tags=struct_tags,
+        typedefs=typedefs,
+        constants=constants,
+    )
+    return CodeGen(program_ast).compile()
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 of the paper, verbatim (modulo whitespace). Note the dead store:
+# ``ping_dst = pkt->ip.dst;`` sits after ``return len;`` and never runs.
+# ---------------------------------------------------------------------------
+FIGURE2_VERBATIM = """
+in_addr_t ping_dst = 0; // destination of traceroute
+
+uint32_t send(const union packet * pkt, uint32_t len) {
+    if (pkt->ip.ver == 4 && pkt->ip.ihl == 5 &&
+        pkt->ip.proto == IPPROTO_ICMP &&
+        pkt->ip.src == info->addr.ip &&
+        pkt->ip.icmp.type == ICMP_ECHO_REQUEST)
+    {
+        return len; // allow
+        ping_dst = pkt->ip.dst;
+    } else
+        return 0; // deny
+}
+
+uint32_t recv(const union packet * pkt, uint32_t len) {
+    if (pkt->ip.ver == 4 && pkt->ip.ihl == 5 &&
+        pkt->ip.proto == IPPROTO_ICMP && (
+        (pkt->ip.icmp.type == ICMP_ECHO_REPLY &&
+         pkt->ip.src == ping_dst) ||
+        (pkt->ip.icmp.type == ICMP_TIME_EXCEEDED &&
+         pkt->ip.icmp.orig.ip.src == info->addr.ip &&
+         pkt->ip.icmp.orig.ip.dst == ping_dst)))
+        return len; // allow
+    else
+        return 0; // deny
+}
+"""
+
+# The corrected monitor: record the destination *before* returning.
+FIGURE2_CORRECTED = """
+in_addr_t ping_dst = 0; // destination of traceroute
+
+uint32_t send(const union packet * pkt, uint32_t len) {
+    if (pkt->ip.ver == 4 && pkt->ip.ihl == 5 &&
+        pkt->ip.proto == IPPROTO_ICMP &&
+        pkt->ip.src == info->addr.ip &&
+        pkt->ip.icmp.type == ICMP_ECHO_REQUEST)
+    {
+        ping_dst = pkt->ip.dst;
+        return len; // allow
+    } else
+        return 0; // deny
+}
+
+uint32_t recv(const union packet * pkt, uint32_t len) {
+    if (pkt->ip.ver == 4 && pkt->ip.ihl == 5 &&
+        pkt->ip.proto == IPPROTO_ICMP && (
+        (pkt->ip.icmp.type == ICMP_ECHO_REPLY &&
+         pkt->ip.src == ping_dst) ||
+        (pkt->ip.icmp.type == ICMP_TIME_EXCEEDED &&
+         pkt->ip.icmp.orig.ip.src == info->addr.ip &&
+         pkt->ip.icmp.orig.ip.dst == ping_dst)))
+        return len; // allow
+    else
+        return 0; // deny
+}
+"""
+
+
+def figure2_monitor(corrected: bool = True) -> FilterProgram:
+    """Compile the paper's Figure 2 traceroute monitor."""
+    return compile_cpf(FIGURE2_CORRECTED if corrected else FIGURE2_VERBATIM)
+
+
+__all__ = [
+    "CpfCompileError",
+    "CpfSyntaxError",
+    "FIGURE2_CORRECTED",
+    "FIGURE2_VERBATIM",
+    "compile_cpf",
+    "figure2_monitor",
+]

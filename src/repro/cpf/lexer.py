@@ -1,0 +1,166 @@
+"""Cpf lexer.
+
+Cpf uses C's lexical grammar: identifiers, integer literals (decimal, hex,
+octal, char constants), the usual operators and punctuation, ``//`` and
+``/* */`` comments. Preprocessor lines (``#include`` etc.) are skipped so
+that paper-style sources lex unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = frozenset(
+    {
+        "if", "else", "while", "for", "do", "return", "break", "continue",
+        "struct", "union", "const", "unsigned", "signed", "int", "char",
+        "void", "extern", "static", "enum", "sizeof",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+
+class CpfSyntaxError(Exception):
+    """Raised on lexical or syntactic errors, with source position."""
+
+    def __init__(self, message: str, line: int, column: int = 0) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "number" | "keyword" | "op" | "eof"
+    text: str
+    value: int  # numeric value for "number" tokens
+    line: int
+    column: int
+    unsigned: bool = False  # literal carried a 'u'/'U' suffix
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.column}>"
+
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Cpf source; raises :class:`CpfSyntaxError` on bad input."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < length:
+        ch = source[pos]
+        # Newlines / whitespace.
+        if ch == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        # Preprocessor lines: skip to end of line.
+        if ch == "#" and (pos == line_start or source[line_start:pos].isspace()
+                          or pos == line_start):
+            while pos < length and source[pos] != "\n":
+                pos += 1
+            continue
+        # Comments.
+        if source.startswith("//", pos):
+            while pos < length and source[pos] != "\n":
+                pos += 1
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise CpfSyntaxError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            line_start = source.rfind("\n", 0, pos) + 1
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, 0, line, start - line_start + 1)
+            continue
+        # Numbers.
+        if ch.isdigit():
+            start = pos
+            if source.startswith(("0x", "0X"), pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                text = source[start:pos]
+                value = int(text, 16)
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                text = source[start:pos]
+                value = int(text, 8) if text.startswith("0") and len(text) > 1 else int(text)
+            # Integer suffixes (u, l, ul, ull...).
+            unsigned_suffix = False
+            while pos < length and source[pos] in "uUlL":
+                if source[pos] in "uU":
+                    unsigned_suffix = True
+                text += source[pos]
+                pos += 1
+            yield Token("number", text, value, line, start - line_start + 1,
+                        unsigned=unsigned_suffix)
+            continue
+        # Character constants.
+        if ch == "'":
+            start = pos
+            pos += 1
+            if pos >= length:
+                raise CpfSyntaxError("unterminated character constant", line)
+            if source[pos] == "\\":
+                pos += 1
+                if pos >= length or source[pos] not in _ESCAPES:
+                    raise CpfSyntaxError("bad escape in character constant", line)
+                value = _ESCAPES[source[pos]]
+                pos += 1
+            else:
+                value = ord(source[pos])
+                pos += 1
+            if pos >= length or source[pos] != "'":
+                raise CpfSyntaxError("unterminated character constant", line)
+            pos += 1
+            yield Token("number", source[start:pos], value, line,
+                        start - line_start + 1)
+            continue
+        # Operators / punctuation.
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                yield Token("op", op, 0, line, column())
+                pos += len(op)
+                break
+        else:
+            raise CpfSyntaxError(f"unexpected character {ch!r}", line)
+    yield Token("eof", "", 0, line, column())

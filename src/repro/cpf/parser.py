@@ -1,0 +1,627 @@
+"""Cpf recursive-descent parser.
+
+Grammar: a C subset sufficient for monitor programs — struct/union/enum
+definitions (with bitfields and anonymous members), global variables,
+functions, the full statement set (if/while/do/for/return/break/continue),
+and C expressions with standard precedence including ``?:``, casts,
+assignment operators, member access, and array indexing.
+
+Deliberately absent (rejected with clear errors): function pointers (the
+paper excludes them), pointer arithmetic, ``switch``, ``goto``, floats,
+strings, and ``sizeof``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpf import ast
+from repro.cpf.lexer import CpfSyntaxError, Token, tokenize
+from repro.cpf.types import (
+    BUILTIN_TYPE_NAMES,
+    ArrayType,
+    CpfType,
+    CpfTypeError,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    StructType,
+    U8,
+    U32,
+    layout_struct,
+)
+
+_TYPE_KEYWORDS = frozenset(
+    {"struct", "union", "const", "unsigned", "signed", "int", "char", "void", "enum"}
+)
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
+
+
+class Parser:
+    """Parses one translation unit. A parser may be seeded with types and
+    constants from a prelude (the Cpf standard library)."""
+
+    def __init__(
+        self,
+        source: str,
+        struct_tags: Optional[dict[str, StructType]] = None,
+        typedefs: Optional[dict[str, CpfType]] = None,
+        constants: Optional[dict[str, int]] = None,
+    ) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+        self.struct_tags: dict[str, StructType] = dict(struct_tags or {})
+        self.typedefs: dict[str, CpfType] = dict(BUILTIN_TYPE_NAMES)
+        if typedefs:
+            self.typedefs.update(typedefs)
+        self.constants: dict[str, int] = dict(constants or {})
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise CpfSyntaxError(
+                f"expected {want!r}, found {token.text or token.kind!r}", token.line
+            )
+        return self._next()
+
+    def _error(self, message: str) -> CpfSyntaxError:
+        return CpfSyntaxError(message, self._peek().line)
+
+    # -- entry point -----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        globals_: list[ast.GlobalDecl] = []
+        functions: list[ast.FunctionDef] = []
+        first_line = self._peek().line
+        while self._peek().kind != "eof":
+            if self._accept("op", ";"):
+                continue
+            if self._peek().kind == "keyword" and self._peek().text == "enum":
+                self._parse_enum_definition()
+                continue
+            if self._is_struct_definition():
+                self._parse_type(allow_definition=True)
+                self._expect("op", ";")
+                continue
+            item = self._parse_top_level_item()
+            if isinstance(item, ast.FunctionDef):
+                functions.append(item)
+            elif isinstance(item, list):
+                globals_.extend(item)
+        return ast.Program(
+            line=first_line,
+            globals=tuple(globals_),
+            functions=tuple(functions),
+            constants=dict(self.constants),
+        )
+
+    def _is_struct_definition(self) -> bool:
+        """True for ``struct tag { ... };`` / ``union tag { ... };`` forms
+        that only define a type (no declarator follows)."""
+        token = self._peek()
+        if token.kind != "keyword" or token.text not in ("struct", "union"):
+            return False
+        offset = 1
+        if self._peek(offset).kind == "ident":
+            offset += 1
+        if not (self._peek(offset).kind == "op" and self._peek(offset).text == "{"):
+            return False
+        # Scan past the balanced braces; a definition ends with ';'.
+        depth = 0
+        while True:
+            token = self._peek(offset)
+            if token.kind == "eof":
+                return False
+            if token.kind == "op" and token.text == "{":
+                depth += 1
+            elif token.kind == "op" and token.text == "}":
+                depth -= 1
+                if depth == 0:
+                    after = self._peek(offset + 1)
+                    return after.kind == "op" and after.text == ";"
+            offset += 1
+
+    def _parse_top_level_item(self):
+        self._accept("keyword", "extern")
+        self._accept("keyword", "static")
+        base_type = self._parse_type(allow_definition=True)
+        declarator_type, name = self._parse_declarator(base_type)
+        if self._peek().kind == "op" and self._peek().text == "(":
+            return self._parse_function_rest(declarator_type, name)
+        # Global variable declaration(s).
+        decls: list[ast.GlobalDecl] = []
+        line = self._peek().line
+        while True:
+            init = None
+            if self._accept("op", "="):
+                init = self._parse_assignment_expr()
+            decls.append(
+                ast.GlobalDecl(line=line, name=name, var_type=declarator_type, init=init)
+            )
+            if not self._accept("op", ","):
+                break
+            declarator_type, name = self._parse_declarator(base_type)
+        self._expect("op", ";")
+        return decls
+
+    # -- types -----------------------------------------------------------------
+
+    def _looks_like_type(self) -> bool:
+        token = self._peek()
+        if token.kind == "keyword" and token.text in _TYPE_KEYWORDS:
+            return True
+        return token.kind == "ident" and token.text in self.typedefs
+
+    def _parse_type(self, allow_definition: bool = False) -> CpfType:
+        self._accept("keyword", "const")
+        token = self._peek()
+        base: CpfType
+        if token.kind == "keyword" and token.text in ("struct", "union"):
+            base = self._parse_struct_or_union(allow_definition)
+        elif token.kind == "keyword" and token.text in ("unsigned", "signed", "int", "char", "void"):
+            base = self._parse_basic_type()
+        elif token.kind == "ident" and token.text in self.typedefs:
+            self._next()
+            base = self.typedefs[token.text]
+        else:
+            raise self._error(f"expected a type, found {token.text!r}")
+        self._accept("keyword", "const")
+        while self._accept("op", "*"):
+            self._accept("keyword", "const")
+            base = PointerType(base)
+        return base
+
+    def _parse_basic_type(self) -> CpfType:
+        signedness: Optional[bool] = None
+        size_token = None
+        while True:
+            token = self._peek()
+            if token.kind != "keyword":
+                break
+            if token.text == "unsigned":
+                signedness = False
+                self._next()
+            elif token.text == "signed":
+                signedness = True
+                self._next()
+            elif token.text in ("int", "char", "void"):
+                size_token = token.text
+                self._next()
+                break
+            else:
+                break
+        if size_token == "void":
+            return U8  # void only appears as a pointer target or return type
+        if size_token == "char":
+            return IntType(1, signedness if signedness is not None else True)
+        # "int", bare "unsigned", bare "signed".
+        return IntType(4, signedness if signedness is not None else True)
+
+    def _parse_struct_or_union(self, allow_definition: bool) -> StructType:
+        keyword = self._next()  # struct | union
+        is_union = keyword.text == "union"
+        tag = ""
+        if self._peek().kind == "ident":
+            tag = self._next().text
+        if self._peek().kind == "op" and self._peek().text == "{":
+            if not allow_definition:
+                raise self._error("struct definition not allowed here")
+            struct = StructType(tag=tag, is_union=is_union)
+            if tag:
+                self.struct_tags[self._tag_key(tag, is_union)] = struct
+            self._parse_struct_body(struct)
+            return struct
+        if not tag:
+            raise self._error("anonymous struct requires a body")
+        key = self._tag_key(tag, is_union)
+        if key not in self.struct_tags:
+            raise self._error(f"unknown {'union' if is_union else 'struct'} tag {tag!r}")
+        return self.struct_tags[key]
+
+    @staticmethod
+    def _tag_key(tag: str, is_union: bool) -> str:
+        return f"{'union' if is_union else 'struct'} {tag}"
+
+    def _parse_struct_body(self, struct: StructType) -> None:
+        self._expect("op", "{")
+        raw_members: list[tuple[str, CpfType, int]] = []
+        while not self._accept("op", "}"):
+            member_base = self._parse_type(allow_definition=True)
+            # Anonymous member: "union { ... };" with no declarator.
+            if self._peek().kind == "op" and self._peek().text == ";":
+                self._next()
+                if not isinstance(member_base, StructType):
+                    raise self._error("only struct/union members may be anonymous")
+                raw_members.append(("", member_base, 0))
+                continue
+            while True:
+                member_type, name = self._parse_declarator(member_base)
+                bit_width = 0
+                if self._accept("op", ":"):
+                    bit_width = self._expect("number").value
+                raw_members.append((name, member_type, bit_width))
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", ";")
+        try:
+            layout_struct(struct, raw_members)
+        except CpfTypeError as exc:
+            raise self._error(str(exc)) from exc
+
+    def _parse_declarator(self, base: CpfType) -> tuple[CpfType, str]:
+        while self._accept("op", "*"):
+            self._accept("keyword", "const")
+            base = PointerType(base)
+        name = self._expect("ident").text
+        while self._accept("op", "["):
+            count = self._expect("number").value
+            self._expect("op", "]")
+            base = ArrayType(element=base, count=count)
+        return base, name
+
+    # -- enum ---------------------------------------------------------------------
+
+    def _parse_enum_definition(self) -> None:
+        self._expect("keyword", "enum")
+        if self._peek().kind == "ident":
+            self._next()  # tag, unused
+        self._expect("op", "{")
+        next_value = 0
+        while not self._accept("op", "}"):
+            name = self._expect("ident").text
+            if self._accept("op", "="):
+                next_value = self._parse_constant_expr()
+            self.constants[name] = next_value
+            next_value += 1
+            if not self._accept("op", ","):
+                self._expect("op", "}")
+                break
+        self._accept("op", ";")
+
+    def _parse_constant_expr(self) -> int:
+        """Constant expression for enum values (number, constant, unary -)."""
+        negate = bool(self._accept("op", "-"))
+        token = self._next()
+        if token.kind == "number":
+            value = token.value
+        elif token.kind == "ident" and token.text in self.constants:
+            value = self.constants[token.text]
+        else:
+            raise CpfSyntaxError(
+                f"expected constant, found {token.text!r}", token.line
+            )
+        return -value if negate else value
+
+    # -- functions -----------------------------------------------------------------
+
+    def _parse_function_rest(
+        self, return_type: CpfType, name: str
+    ) -> ast.FunctionDef:
+        line = self._expect("op", "(").line
+        params: list[tuple[str, CpfType]] = []
+        if not self._accept("op", ")"):
+            if (
+                self._peek().kind == "keyword"
+                and self._peek().text == "void"
+                and self._peek(1).text == ")"
+            ):
+                self._next()
+                self._expect("op", ")")
+            else:
+                while True:
+                    param_type = self._parse_type()
+                    param_name = self._expect("ident").text
+                    while self._accept("op", "["):
+                        count = self._expect("number").value
+                        self._expect("op", "]")
+                        param_type = ArrayType(param_type, count)
+                    params.append((param_name, param_type))
+                    if not self._accept("op", ","):
+                        break
+                self._expect("op", ")")
+        body = self._parse_block()
+        return ast.FunctionDef(
+            line=line,
+            name=name,
+            return_type=return_type,
+            params=tuple(params),
+            body=body,
+        )
+
+    # -- statements -------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        line = self._expect("op", "{").line
+        statements: list[ast.Stmt] = []
+        while not self._accept("op", "}"):
+            statements.append(self._parse_statement())
+        return ast.Block(line=line, statements=tuple(statements))
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind == "op" and token.text == "{":
+            return self._parse_block()
+        if token.kind == "op" and token.text == ";":
+            self._next()
+            return ast.ExprStmt(line=token.line, expr=None)
+        if token.kind == "keyword":
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "do":
+                return self._parse_do_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "return":
+                self._next()
+                value = None
+                if not (self._peek().kind == "op" and self._peek().text == ";"):
+                    value = self._parse_expr()
+                self._expect("op", ";")
+                return ast.Return(line=token.line, value=value)
+            if token.text == "break":
+                self._next()
+                self._expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self._next()
+                self._expect("op", ";")
+                return ast.Continue(line=token.line)
+        if self._looks_like_type():
+            return self._parse_local_declaration()
+        expr = self._parse_expr()
+        self._expect("op", ";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _parse_local_declaration(self) -> ast.Stmt:
+        line = self._peek().line
+        base_type = self._parse_type()
+        declarations: list[ast.Stmt] = []
+        while True:
+            var_type, name = self._parse_declarator(base_type)
+            init = None
+            if self._accept("op", "="):
+                init = self._parse_assignment_expr()
+            declarations.append(
+                ast.VarDecl(line=line, name=name, var_type=var_type, init=init)
+            )
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.Block(line=line, statements=tuple(declarations))
+
+    def _parse_if(self) -> ast.If:
+        line = self._expect("keyword", "if").line
+        self._expect("op", "(")
+        condition = self._parse_expr()
+        self._expect("op", ")")
+        then_body = self._parse_statement()
+        else_body = None
+        if self._accept("keyword", "else"):
+            else_body = self._parse_statement()
+        return ast.If(line=line, condition=condition, then_body=then_body,
+                      else_body=else_body)
+
+    def _parse_while(self) -> ast.While:
+        line = self._expect("keyword", "while").line
+        self._expect("op", "(")
+        condition = self._parse_expr()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.While(line=line, condition=condition, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        line = self._expect("keyword", "do").line
+        body = self._parse_statement()
+        self._expect("keyword", "while")
+        self._expect("op", "(")
+        condition = self._parse_expr()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.DoWhile(line=line, body=body, condition=condition)
+
+    def _parse_for(self) -> ast.For:
+        line = self._expect("keyword", "for").line
+        self._expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not (self._peek().kind == "op" and self._peek().text == ";"):
+            if self._looks_like_type():
+                init = self._parse_local_declaration()
+            else:
+                expr = self._parse_expr()
+                self._expect("op", ";")
+                init = ast.ExprStmt(line=line, expr=expr)
+        else:
+            self._next()
+        condition = None
+        if not (self._peek().kind == "op" and self._peek().text == ";"):
+            condition = self._parse_expr()
+        self._expect("op", ";")
+        step = None
+        if not (self._peek().kind == "op" and self._peek().text == ")"):
+            step = self._parse_expr()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.For(line=line, init=init, condition=condition, step=step, body=body)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        expr = self._parse_assignment_expr()
+        while self._accept("op", ","):
+            right = self._parse_assignment_expr()
+            expr = ast.Binary(line=right.line, op=",", left=expr, right=right)
+        return expr
+
+    def _parse_assignment_expr(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self._next()
+            value = self._parse_assignment_expr()
+            return ast.Assign(line=token.line, op=token.text, target=left, value=value)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        condition = self._parse_binary(1)
+        if self._accept("op", "?"):
+            then_value = self._parse_expr()
+            self._expect("op", ":")
+            else_value = self._parse_conditional()
+            return ast.Conditional(
+                line=condition.line,
+                condition=condition,
+                then_value=then_value,
+                else_value=else_value,
+            )
+        return condition
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind != "op":
+                return left
+            precedence = _PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._next()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(line=token.line, op=token.text, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "op" and token.text in ("-", "~", "!", "+"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op=token.text, operand=operand)
+        if token.kind == "op" and token.text in ("++", "--"):
+            # Pre-increment sugar: ++x => x += 1.
+            self._next()
+            operand = self._parse_unary()
+            one = ast.Number(line=token.line, value=1)
+            return ast.Assign(
+                line=token.line,
+                op="+=" if token.text == "++" else "-=",
+                target=operand,
+                value=one,
+            )
+        if token.kind == "op" and token.text == "(":
+            # Cast or parenthesized expression.
+            saved = self._pos
+            self._next()
+            if self._looks_like_type():
+                cast_type = self._parse_type()
+                if self._peek().text == ")":
+                    self._expect("op", ")")
+                    operand = self._parse_unary()
+                    return ast.Cast(line=token.line, target_type=cast_type,
+                                    operand=operand)
+            self._pos = saved
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind != "op":
+                return expr
+            if token.text == ".":
+                self._next()
+                member = self._expect("ident").text
+                expr = ast.MemberAccess(line=token.line, base=expr, member=member,
+                                        arrow=False)
+            elif token.text == "->":
+                self._next()
+                member = self._expect("ident").text
+                expr = ast.MemberAccess(line=token.line, base=expr, member=member,
+                                        arrow=True)
+            elif token.text == "[":
+                self._next()
+                index = self._parse_expr()
+                self._expect("op", "]")
+                expr = ast.Index(line=token.line, base=expr, index=index)
+            elif token.text in ("++", "--"):
+                raise CpfSyntaxError(
+                    "post-increment is not supported; use prefix form", token.line
+                )
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._next()
+        if token.kind == "number":
+            return ast.Number(line=token.line, value=token.value,
+                              unsigned=token.unsigned)
+        if token.kind == "ident":
+            if self._peek().kind == "op" and self._peek().text == "(":
+                self._next()
+                args: list[ast.Expr] = []
+                if not self._accept("op", ")"):
+                    while True:
+                        args.append(self._parse_assignment_expr())
+                        if not self._accept("op", ","):
+                            break
+                    self._expect("op", ")")
+                return ast.Call(line=token.line, name=token.text, args=tuple(args))
+            return ast.Ident(line=token.line, name=token.text)
+        if token.kind == "op" and token.text == "(":
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        if token.kind == "keyword" and token.text == "sizeof":
+            raise CpfSyntaxError("sizeof is not supported in Cpf", token.line)
+        raise CpfSyntaxError(
+            f"unexpected token {token.text or token.kind!r} in expression", token.line
+        )
+
+
+def parse(
+    source: str,
+    struct_tags: Optional[dict[str, StructType]] = None,
+    typedefs: Optional[dict[str, CpfType]] = None,
+    constants: Optional[dict[str, int]] = None,
+) -> ast.Program:
+    return Parser(
+        source, struct_tags=struct_tags, typedefs=typedefs, constants=constants
+    ).parse_program()

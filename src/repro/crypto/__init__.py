@@ -1,0 +1,38 @@
+"""Certificates and delegation: PacketLab's access control (§3.3).
+
+Built on a from-scratch pure-Python Ed25519 (RFC 8032). Public keys are
+identified by their SHA-256 hash; certificates chain from an operator's
+trusted key down to a specific experiment descriptor, carrying restrictions
+(validity, monitors, buffer limits, priority caps) that endpoints enforce.
+"""
+
+from repro.crypto.certificate import (
+    CERT_DELEGATION,
+    CERT_EXPERIMENT,
+    Certificate,
+    CertificateError,
+    Restrictions,
+)
+from repro.crypto.chain import (
+    CertificateChain,
+    ChainError,
+    ChainResult,
+    build_delegated_chain,
+)
+from repro.crypto.keys import KeyPair, key_id, object_hash, verify_signature
+
+__all__ = [
+    "CERT_DELEGATION",
+    "CERT_EXPERIMENT",
+    "Certificate",
+    "CertificateChain",
+    "CertificateError",
+    "ChainError",
+    "ChainResult",
+    "KeyPair",
+    "Restrictions",
+    "build_delegated_chain",
+    "key_id",
+    "object_hash",
+    "verify_signature",
+]

@@ -1,0 +1,248 @@
+"""PacketLab certificates.
+
+Per §3.3: a certificate consists of a cryptographic hash of the signer
+public key, a cryptographic hash of the signed object, an optional list of
+restrictions, and a digital signature of the above. There are two kinds
+sharing one format:
+
+- **delegation certificates** sign another public key (its :func:`key_id`),
+- **experiment certificates** sign an experiment descriptor (its hash).
+
+Restrictions (all optional): validity period, experiment monitor (a
+compiled filter-VM program), capture buffer space limit, and maximum
+experiment priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.crypto import ed25519
+from repro.crypto.keys import KEY_ID_SIZE, KeyPair, key_id, verify_signature
+from repro.util.byteio import ByteReader, ByteWriter, DecodeError
+
+CERT_DELEGATION = 1
+CERT_EXPERIMENT = 2
+
+_CERT_MAGIC = 0x504C  # "PL"
+_CERT_VERSION = 1
+
+# Restriction TLV tags.
+_R_NOT_BEFORE = 1
+_R_NOT_AFTER = 2
+_R_MONITOR = 3
+_R_BUFFER_LIMIT = 4
+_R_MAX_PRIORITY = 5
+
+
+class CertificateError(Exception):
+    """Raised for malformed or invalid certificates."""
+
+
+@dataclass(frozen=True)
+class Restrictions:
+    """Optional limits attached to a certificate (§3.3).
+
+    ``not_before``/``not_after`` are wall-clock seconds (simulator time in
+    this reproduction). ``monitor`` is a serialized filter-VM program
+    enforced by the endpoint during the experiment. ``buffer_limit`` caps
+    the endpoint capture buffer in bytes. ``max_priority`` caps the
+    priority at which the experiment may run (contention, §3.3).
+    """
+
+    not_before: Optional[float] = None
+    not_after: Optional[float] = None
+    monitor: Optional[bytes] = None
+    buffer_limit: Optional[int] = None
+    max_priority: Optional[int] = None
+
+    def is_empty(self) -> bool:
+        return all(
+            value is None
+            for value in (
+                self.not_before,
+                self.not_after,
+                self.monitor,
+                self.buffer_limit,
+                self.max_priority,
+            )
+        )
+
+    def valid_at(self, now: float) -> bool:
+        if self.not_before is not None and now < self.not_before:
+            return False
+        if self.not_after is not None and now > self.not_after:
+            return False
+        return True
+
+    def encode(self) -> bytes:
+        writer = ByteWriter()
+        entries: list[tuple[int, bytes]] = []
+        if self.not_before is not None:
+            entries.append((_R_NOT_BEFORE, ByteWriter().f64(self.not_before).getvalue()))
+        if self.not_after is not None:
+            entries.append((_R_NOT_AFTER, ByteWriter().f64(self.not_after).getvalue()))
+        if self.monitor is not None:
+            entries.append((_R_MONITOR, self.monitor))
+        if self.buffer_limit is not None:
+            entries.append((_R_BUFFER_LIMIT, ByteWriter().u64(self.buffer_limit).getvalue()))
+        if self.max_priority is not None:
+            entries.append((_R_MAX_PRIORITY, ByteWriter().u8(self.max_priority).getvalue()))
+        writer.u8(len(entries))
+        for tag, payload in entries:
+            writer.u8(tag)
+            writer.bytes_u32(payload)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> "Restrictions":
+        count = reader.u8()
+        values: dict[str, object] = {}
+        for _ in range(count):
+            tag = reader.u8()
+            payload = reader.bytes_u32()
+            sub = ByteReader(payload)
+            if tag == _R_NOT_BEFORE:
+                values["not_before"] = sub.f64()
+            elif tag == _R_NOT_AFTER:
+                values["not_after"] = sub.f64()
+            elif tag == _R_MONITOR:
+                values["monitor"] = payload
+            elif tag == _R_BUFFER_LIMIT:
+                values["buffer_limit"] = sub.u64()
+            elif tag == _R_MAX_PRIORITY:
+                values["max_priority"] = sub.u8()
+            else:
+                raise DecodeError(f"unknown restriction tag {tag}")
+        return cls(**values)  # type: ignore[arg-type]
+
+    def merged_with(self, other: "Restrictions") -> "Restrictions":
+        """Combine two restriction sets, keeping the tightest of each.
+
+        Monitors are *not* merged here — a chain can impose several
+        monitors and the endpoint enforces all of them (see
+        :class:`repro.crypto.chain.ChainResult`).
+        """
+
+        def tighter_min(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        def tighter_max(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return max(a, b)
+
+        return Restrictions(
+            not_before=tighter_max(self.not_before, other.not_before),
+            not_after=tighter_min(self.not_after, other.not_after),
+            monitor=None,
+            buffer_limit=tighter_min(self.buffer_limit, other.buffer_limit),
+            max_priority=tighter_min(self.max_priority, other.max_priority),
+        )
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed statement: "signer authorizes subject (with restrictions)"."""
+
+    cert_type: int
+    signer_key_id: bytes
+    subject_hash: bytes
+    restrictions: Restrictions
+    signature: bytes
+
+    def signing_payload(self) -> bytes:
+        writer = ByteWriter()
+        writer.u16(_CERT_MAGIC)
+        writer.u8(_CERT_VERSION)
+        writer.u8(self.cert_type)
+        writer.raw(self.signer_key_id)
+        writer.raw(self.subject_hash)
+        writer.raw(self.restrictions.encode())
+        return writer.getvalue()
+
+    def encode(self) -> bytes:
+        return self.signing_payload() + self.signature
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Certificate":
+        reader = ByteReader(data)
+        magic = reader.u16()
+        if magic != _CERT_MAGIC:
+            raise DecodeError(f"bad certificate magic {magic:#x}")
+        version = reader.u8()
+        if version != _CERT_VERSION:
+            raise DecodeError(f"unsupported certificate version {version}")
+        cert_type = reader.u8()
+        if cert_type not in (CERT_DELEGATION, CERT_EXPERIMENT):
+            raise DecodeError(f"unknown certificate type {cert_type}")
+        signer_key_id = reader.raw(KEY_ID_SIZE)
+        subject_hash = reader.raw(KEY_ID_SIZE)
+        restrictions = Restrictions.decode(reader)
+        signature = reader.raw(ed25519.SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(
+            cert_type=cert_type,
+            signer_key_id=signer_key_id,
+            subject_hash=subject_hash,
+            restrictions=restrictions,
+            signature=signature,
+        )
+
+    @classmethod
+    def issue(
+        cls,
+        signer: KeyPair,
+        cert_type: int,
+        subject_hash: bytes,
+        restrictions: Optional[Restrictions] = None,
+    ) -> "Certificate":
+        """Create and sign a certificate."""
+        if cert_type not in (CERT_DELEGATION, CERT_EXPERIMENT):
+            raise CertificateError(f"unknown certificate type {cert_type}")
+        if len(subject_hash) != KEY_ID_SIZE:
+            raise CertificateError(
+                f"subject hash must be {KEY_ID_SIZE} bytes, got {len(subject_hash)}"
+            )
+        unsigned = cls(
+            cert_type=cert_type,
+            signer_key_id=signer.key_id,
+            subject_hash=subject_hash,
+            restrictions=restrictions or Restrictions(),
+            signature=b"\x00" * ed25519.SIGNATURE_SIZE,
+        )
+        signature = signer.sign(unsigned.signing_payload())
+        return replace(unsigned, signature=signature)
+
+    @classmethod
+    def delegate(
+        cls,
+        signer: KeyPair,
+        delegate_public_key: bytes,
+        restrictions: Optional[Restrictions] = None,
+    ) -> "Certificate":
+        """Delegation certificate: the signed object is another public key."""
+        return cls.issue(
+            signer, CERT_DELEGATION, key_id(delegate_public_key), restrictions
+        )
+
+    def verify_with(self, public_key: bytes) -> bool:
+        """Check the signature and that the key matches ``signer_key_id``."""
+        if key_id(public_key) != self.signer_key_id:
+            return False
+        return verify_signature(public_key, self.signing_payload(), self.signature)
+
+    @property
+    def is_delegation(self) -> bool:
+        return self.cert_type == CERT_DELEGATION
+
+    @property
+    def is_experiment(self) -> bool:
+        return self.cert_type == CERT_EXPERIMENT

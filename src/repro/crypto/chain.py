@@ -1,0 +1,167 @@
+"""Certificate chain verification (the Figure 1 authorization flow).
+
+A chain is an ordered list of certificates plus the public keys needed to
+check their signatures ("the experimenter includes the full certificate
+chain and corresponding public keys", §3.3). Verification establishes:
+
+1. the first certificate is signed by a key the verifier trusts,
+2. every non-final certificate is a delegation whose subject is the key
+   signing the next certificate,
+3. the final certificate is an experiment certificate whose subject is the
+   hash of the object being authorized (the experiment descriptor),
+4. every certificate is currently valid,
+
+and yields the effective restrictions: the tightest merge of every
+certificate's limits, plus the list of *all* monitors in the chain (each of
+which the endpoint enforces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.crypto.certificate import (
+    CERT_EXPERIMENT,
+    Certificate,
+    Restrictions,
+)
+from repro.crypto.keys import KeyPair, key_id
+from repro.util.byteio import ByteReader, ByteWriter, DecodeError
+
+
+class ChainError(Exception):
+    """Raised when a certificate chain fails verification."""
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Outcome of a successful chain verification."""
+
+    restrictions: Restrictions
+    monitors: tuple[bytes, ...]
+    trust_anchor: bytes  # key id of the trusted root that anchored the chain
+    depth: int
+
+
+@dataclass
+class CertificateChain:
+    """Certificates (root first) plus the public keys they reference."""
+
+    certificates: list[Certificate] = field(default_factory=list)
+    public_keys: dict[bytes, bytes] = field(default_factory=dict)
+
+    def add_key(self, public_key: bytes) -> None:
+        self.public_keys[key_id(public_key)] = public_key
+
+    def append(self, certificate: Certificate, signer_public_key: bytes) -> None:
+        self.add_key(signer_public_key)
+        self.certificates.append(certificate)
+
+    # -- verification -------------------------------------------------------
+
+    def verify(
+        self,
+        trusted_key_ids: Iterable[bytes],
+        object_hash: bytes,
+        now: float,
+    ) -> ChainResult:
+        """Verify the chain authorizes ``object_hash``; raises ChainError."""
+        trusted = set(trusted_key_ids)
+        if not self.certificates:
+            raise ChainError("empty certificate chain")
+        first = self.certificates[0]
+        if first.signer_key_id not in trusted:
+            raise ChainError("chain is not anchored in a trusted key")
+        expected_signer = first.signer_key_id
+        monitors: list[bytes] = []
+        effective = Restrictions()
+        for index, cert in enumerate(self.certificates):
+            is_last = index == len(self.certificates) - 1
+            if cert.signer_key_id != expected_signer:
+                raise ChainError(
+                    f"certificate {index} signed by unexpected key "
+                    f"{cert.signer_key_id.hex()[:12]}"
+                )
+            public_key = self.public_keys.get(cert.signer_key_id)
+            if public_key is None:
+                raise ChainError(
+                    f"missing public key for signer {cert.signer_key_id.hex()[:12]}"
+                )
+            if not cert.verify_with(public_key):
+                raise ChainError(f"bad signature on certificate {index}")
+            if not cert.restrictions.valid_at(now):
+                raise ChainError(f"certificate {index} expired or not yet valid")
+            if cert.restrictions.monitor is not None:
+                monitors.append(cert.restrictions.monitor)
+            effective = effective.merged_with(cert.restrictions)
+            if is_last:
+                if not cert.is_experiment:
+                    raise ChainError("final certificate must be an experiment certificate")
+                if cert.subject_hash != object_hash:
+                    raise ChainError("final certificate does not sign this object")
+            else:
+                if not cert.is_delegation:
+                    raise ChainError(
+                        f"certificate {index} must be a delegation certificate"
+                    )
+                expected_signer = cert.subject_hash
+        return ChainResult(
+            restrictions=effective,
+            monitors=tuple(monitors),
+            trust_anchor=first.signer_key_id,
+            depth=len(self.certificates),
+        )
+
+    # -- wire encoding -------------------------------------------------------
+
+    def encode(self) -> bytes:
+        writer = ByteWriter()
+        writer.u8(len(self.certificates))
+        for cert in self.certificates:
+            writer.bytes_u32(cert.encode())
+        writer.u8(len(self.public_keys))
+        for public_key in self.public_keys.values():
+            writer.bytes_u16(public_key)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CertificateChain":
+        reader = ByteReader(data)
+        chain = cls()
+        cert_count = reader.u8()
+        for _ in range(cert_count):
+            chain.certificates.append(Certificate.decode(reader.bytes_u32()))
+        key_count = reader.u8()
+        for _ in range(key_count):
+            public_key = reader.bytes_u16()
+            if len(public_key) != 32:
+                raise DecodeError("bad public key length in chain")
+            chain.add_key(public_key)
+        reader.expect_end()
+        return chain
+
+
+def build_delegated_chain(
+    operator: KeyPair,
+    experimenter: KeyPair,
+    descriptor_hash: bytes,
+    delegation_restrictions: Optional[Restrictions] = None,
+    experiment_restrictions: Optional[Restrictions] = None,
+) -> CertificateChain:
+    """The common two-link chain from Figure 1.
+
+    The endpoint operator delegates to the experimenter's key (➌); the
+    experimenter then signs an experiment certificate for the descriptor
+    (➍). The resulting chain convinces any endpoint trusting ``operator``.
+    """
+    chain = CertificateChain()
+    delegation = Certificate.delegate(
+        operator, experimenter.public_key, delegation_restrictions
+    )
+    chain.append(delegation, operator.public_key)
+    experiment = Certificate.issue(
+        experimenter, CERT_EXPERIMENT, descriptor_hash, experiment_restrictions
+    )
+    chain.append(experiment, experimenter.public_key)
+    return chain

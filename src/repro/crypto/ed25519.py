@@ -1,0 +1,191 @@
+"""Pure-Python Ed25519 (RFC 8032).
+
+PacketLab's access control needs a digital signature scheme; the paper
+specifies certificate *structure* (X.509-like, chainable) but not the
+primitive. This is a from-scratch Ed25519 implementation over extended
+twisted-Edwards coordinates — no external crypto packages.
+
+Performance note: scalar multiplication uses a fixed 4-bit window; signing
+a message takes ~1 ms of CPU in CPython, which is ample for certificate
+workloads (see ``benchmarks/bench_m2_crypto.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+# Field prime and group order.
+Q = 2**255 - 19
+L = 2**252 + 27742317777372353535851937790883648493
+
+# Curve constant d = -121665/121666 mod q.
+D = (-121665 * pow(121666, Q - 2, Q)) % Q
+
+# sqrt(-1) mod q, used during point decompression.
+SQRT_M1 = pow(2, (Q - 1) // 4, Q)
+
+# Base point B (extended coordinates X, Y, Z, T).
+_BY = (4 * pow(5, Q - 2, Q)) % Q
+_BX = None  # computed below
+
+SIGNATURE_SIZE = 64
+PUBLIC_KEY_SIZE = 32
+SEED_SIZE = 32
+
+
+class SignatureError(Exception):
+    """Raised when signature verification fails structurally."""
+
+
+def _sha512(*parts: bytes) -> bytes:
+    digest = hashlib.sha512()
+    for part in parts:
+        digest.update(part)
+    return digest.digest()
+
+
+def _recover_x(y: int, sign: int) -> int:
+    """Solve x^2 = (y^2 - 1) / (d y^2 + 1) for x with the given sign bit."""
+    if y >= Q:
+        raise SignatureError("y coordinate out of range")
+    x2 = (y * y - 1) * pow(D * y * y + 1, Q - 2, Q) % Q
+    if x2 == 0:
+        if sign:
+            raise SignatureError("invalid point encoding")
+        return 0
+    x = pow(x2, (Q + 3) // 8, Q)
+    if (x * x - x2) % Q != 0:
+        x = x * SQRT_M1 % Q
+    if (x * x - x2) % Q != 0:
+        raise SignatureError("not a valid curve point")
+    if (x & 1) != sign:
+        x = Q - x
+    return x
+
+
+_BX = _recover_x(_BY, 0)
+
+# Extended coordinates: (X, Y, Z, T) with x = X/Z, y = Y/Z, T = XY/Z.
+_BASE = (_BX, _BY, 1, (_BX * _BY) % Q)
+_IDENTITY = (0, 1, 1, 0)
+
+
+def _point_add(p: tuple, q: tuple) -> tuple:
+    """Add two points in extended coordinates (RFC 8032 formulas)."""
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % Q
+    b = (y1 + x1) * (y2 + x2) % Q
+    c = 2 * t1 * t2 * D % Q
+    dd = 2 * z1 * z2 % Q
+    e = b - a
+    f = dd - c
+    g = dd + c
+    h = b + a
+    return (e * f % Q, g * h % Q, f * g % Q, e * h % Q)
+
+
+def _point_double(p: tuple) -> tuple:
+    return _point_add(p, p)
+
+
+def _scalar_mult(scalar: int, point: tuple) -> tuple:
+    """Fixed 4-bit-window scalar multiplication."""
+    scalar %= L
+    if scalar == 0:
+        return _IDENTITY
+    # Precompute 0..15 multiples.
+    table = [_IDENTITY, point]
+    for _ in range(14):
+        table.append(_point_add(table[-1], point))
+    result = _IDENTITY
+    started = False
+    for shift in range((scalar.bit_length() + 3) // 4 * 4 - 4, -4, -4):
+        if started:
+            result = _point_double(result)
+            result = _point_double(result)
+            result = _point_double(result)
+            result = _point_double(result)
+        nibble = (scalar >> shift) & 0xF
+        if nibble:
+            result = _point_add(result, table[nibble])
+            started = True
+        elif started:
+            pass
+        else:
+            continue
+    return result
+
+
+def _point_compress(p: tuple) -> bytes:
+    x, y, z, _t = p
+    zinv = pow(z, Q - 2, Q)
+    x = x * zinv % Q
+    y = y * zinv % Q
+    return (y | ((x & 1) << 255)).to_bytes(32, "little")
+
+
+def _point_decompress(data: bytes) -> tuple:
+    if len(data) != 32:
+        raise SignatureError("point encoding must be 32 bytes")
+    value = int.from_bytes(data, "little")
+    sign = value >> 255
+    y = value & ((1 << 255) - 1)
+    x = _recover_x(y, sign)
+    return (x, y, 1, (x * y) % Q)
+
+
+def _points_equal(p: tuple, q: tuple) -> bool:
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    return (x1 * z2 - x2 * z1) % Q == 0 and (y1 * z2 - y2 * z1) % Q == 0
+
+
+def _clamp(scalar_bytes: bytes) -> int:
+    value = int.from_bytes(scalar_bytes, "little")
+    value &= (1 << 254) - 8
+    value |= 1 << 254
+    return value
+
+
+def public_key_from_seed(seed: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte secret seed."""
+    if len(seed) != SEED_SIZE:
+        raise ValueError(f"seed must be {SEED_SIZE} bytes, got {len(seed)}")
+    h = _sha512(seed)
+    a = _clamp(h[:32])
+    return _point_compress(_scalar_mult(a, _BASE))
+
+
+def sign(seed: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte Ed25519 signature."""
+    if len(seed) != SEED_SIZE:
+        raise ValueError(f"seed must be {SEED_SIZE} bytes, got {len(seed)}")
+    h = _sha512(seed)
+    a = _clamp(h[:32])
+    prefix = h[32:]
+    public = _point_compress(_scalar_mult(a, _BASE))
+    r = int.from_bytes(_sha512(prefix, message), "little") % L
+    big_r = _point_compress(_scalar_mult(r, _BASE))
+    k = int.from_bytes(_sha512(big_r, public, message), "little") % L
+    s = (r + k * a) % L
+    return big_r + s.to_bytes(32, "little")
+
+
+def verify(public_key: bytes, message: bytes, signature: bytes) -> bool:
+    """Check an Ed25519 signature; returns False on any mismatch."""
+    if len(public_key) != PUBLIC_KEY_SIZE or len(signature) != SIGNATURE_SIZE:
+        return False
+    try:
+        a_point = _point_decompress(public_key)
+        r_point = _point_decompress(signature[:32])
+    except SignatureError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= L:
+        return False
+    k = int.from_bytes(_sha512(signature[:32], public_key, message), "little") % L
+    # Check s*B == R + k*A.
+    left = _scalar_mult(s, _BASE)
+    right = _point_add(r_point, _scalar_mult(k, a_point))
+    return _points_equal(left, right)

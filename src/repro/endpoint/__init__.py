@@ -1,0 +1,56 @@
+"""The PacketLab measurement endpoint (§3.1): a lightweight packet
+source/sink executing the Table 1 command set under certificate and
+monitor control."""
+
+from repro.endpoint.auth import AuthError, AuthorizedExperiment, verify_auth
+from repro.endpoint.capture import CaptureBuffer
+from repro.endpoint.config import EndpointConfig
+from repro.endpoint.contention import ContentionManager
+from repro.endpoint.endpoint import Endpoint, Session
+from repro.endpoint.memory import (
+    EndpointMemory,
+    MemoryError_,
+    MonitorInfoView,
+    OFF_ADDR_IP,
+    OFF_BUF_CAPACITY,
+    OFF_BUF_DROPPED_BYTES,
+    OFF_BUF_DROPPED_PKTS,
+    OFF_BUF_USED,
+    OFF_CAPS,
+    OFF_CLOCK,
+    SCRATCH_START,
+)
+from repro.endpoint.netio import (
+    EndpointSocket,
+    RawEndpointSocket,
+    TcpEndpointSocket,
+    UdpEndpointSocket,
+)
+from repro.endpoint.sendqueue import SendQueue
+
+__all__ = [
+    "AuthError",
+    "AuthorizedExperiment",
+    "CaptureBuffer",
+    "ContentionManager",
+    "Endpoint",
+    "EndpointConfig",
+    "EndpointMemory",
+    "EndpointSocket",
+    "MemoryError_",
+    "MonitorInfoView",
+    "OFF_ADDR_IP",
+    "OFF_BUF_CAPACITY",
+    "OFF_BUF_DROPPED_BYTES",
+    "OFF_BUF_DROPPED_PKTS",
+    "OFF_BUF_USED",
+    "OFF_CAPS",
+    "OFF_CLOCK",
+    "RawEndpointSocket",
+    "SCRATCH_START",
+    "SendQueue",
+    "Session",
+    "TcpEndpointSocket",
+    "UdpEndpointSocket",
+    "verify_auth",
+]

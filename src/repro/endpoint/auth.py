@@ -1,0 +1,72 @@
+"""Endpoint-side authorization: verifying an Auth message (§3.3).
+
+"To run an experiment on an endpoint, an experiment controller must
+present the endpoint with an experiment descriptor that is directly or
+indirectly (via a chain of certificates) signed by one of its trusted
+keys."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.crypto.chain import CertificateChain, ChainError, ChainResult
+from repro.proto.messages import Auth
+from repro.rendezvous.descriptor import ExperimentDescriptor
+from repro.util.byteio import DecodeError
+
+
+class AuthError(Exception):
+    """Raised when an Auth message fails verification."""
+
+
+@dataclass(frozen=True)
+class AuthorizedExperiment:
+    descriptor: ExperimentDescriptor
+    chain_result: ChainResult
+    priority: int
+
+
+def verify_auth(
+    auth: Auth,
+    trusted_key_ids: Iterable[bytes],
+    now: float,
+) -> AuthorizedExperiment:
+    """Validate an Auth message against the endpoint trust store.
+
+    Checks: descriptor and chain decode, the chain is anchored in a
+    trusted key and terminates in an experiment certificate for this
+    descriptor, every certificate is currently valid, and the requested
+    priority does not exceed the chain's priority cap.
+    """
+    try:
+        descriptor = ExperimentDescriptor.decode(auth.descriptor)
+    except DecodeError as exc:
+        raise AuthError(f"bad descriptor: {exc}") from exc
+    if not auth.chains:
+        raise AuthError("no certificate chains presented")
+    trusted = list(trusted_key_ids)
+    result = None
+    failures: list[str] = []
+    for chain_bytes in auth.chains:
+        try:
+            chain = CertificateChain.decode(chain_bytes)
+        except DecodeError as exc:
+            failures.append(f"bad certificate chain: {exc}")
+            continue
+        try:
+            result = chain.verify(trusted, descriptor.hash(), now)
+            break
+        except ChainError as exc:
+            failures.append(str(exc))
+    if result is None:
+        raise AuthError(f"chain rejected: {'; '.join(failures)}")
+    cap = result.restrictions.max_priority
+    if cap is not None and auth.priority > cap:
+        raise AuthError(
+            f"requested priority {auth.priority} exceeds certificate cap {cap}"
+        )
+    return AuthorizedExperiment(
+        descriptor=descriptor, chain_result=result, priority=auth.priority
+    )

@@ -1,0 +1,103 @@
+"""The endpoint capture buffer (§3.1).
+
+Received data is buffered at the endpoint until the controller polls with
+``npoll``; this keeps the access link free of control traffic during a
+measurement. When the buffer fills, the endpoint "simply stops reading
+(and buffering) experiment data": for UDP and raw sockets that means
+counted drops, for TCP it creates flow-control back pressure (the reader
+process stops draining the TCP receive buffer). ``npoll`` reports the
+packets and bytes dropped due to buffer exhaustion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.kernel import Event, Simulator
+from repro.proto.messages import CaptureRecord
+
+# Per-record bookkeeping overhead charged against the buffer, so that many
+# tiny records cannot evade the byte limit.
+RECORD_OVERHEAD = 16
+
+
+class CaptureBuffer:
+    """Byte-bounded FIFO of capture records with drop accounting."""
+
+    def __init__(self, sim: Simulator, capacity: int) -> None:
+        self._sim = sim
+        self.capacity = capacity
+        self.used = 0
+        self._records: list[CaptureRecord] = []
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.total_captured = 0
+        self._data_waiters: list[Event] = []
+        self._space_waiters: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._records
+
+    def space_for(self, size: int) -> bool:
+        return self.used + size + RECORD_OVERHEAD <= self.capacity
+
+    def push(self, record: CaptureRecord) -> bool:
+        """Append a record; returns False (and counts the drop) if full."""
+        size = len(record.data) + RECORD_OVERHEAD
+        if self.used + size > self.capacity:
+            self.dropped_packets += 1
+            self.dropped_bytes += len(record.data)
+            return False
+        self._records.append(record)
+        self.used += size
+        self.total_captured += 1
+        waiters, self._data_waiters = self._data_waiters, []
+        for event in waiters:
+            event.fire(None)
+        return True
+
+    def note_drop(self, byte_count: int) -> None:
+        """Account for data dropped before reaching the buffer (e.g. a
+        UDP datagram discarded because the buffer had no room)."""
+        self.dropped_packets += 1
+        self.dropped_bytes += byte_count
+
+    def drain(self) -> tuple[tuple[CaptureRecord, ...], int, int]:
+        """Remove and return all records plus the drop counters.
+
+        Drop counters reset on drain: each npoll response reports the drops
+        since the previous poll.
+        """
+        records = tuple(self._records)
+        self._records.clear()
+        self.used = 0
+        dropped_packets, self.dropped_packets = self.dropped_packets, 0
+        dropped_bytes, self.dropped_bytes = self.dropped_bytes, 0
+        waiters, self._space_waiters = self._space_waiters, []
+        for event in waiters:
+            event.fire(None)
+        return records, dropped_packets, dropped_bytes
+
+    def wait_for_data(self) -> Event:
+        """An event fired when the next record arrives (pre-fired if data
+        is already buffered)."""
+        event = Event(self._sim, name="capture-data")
+        if self._records:
+            event.fire(None)
+        else:
+            self._data_waiters.append(event)
+        return event
+
+    def wait_for_space(self, size: int) -> Event:
+        """An event fired once the buffer can hold ``size`` more bytes
+        (used by the TCP reader to realize back pressure)."""
+        event = Event(self._sim, name="capture-space")
+        if self.space_for(size):
+            event.fire(None)
+        else:
+            self._space_waiters.append(event)
+        return event

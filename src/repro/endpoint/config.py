@@ -1,0 +1,38 @@
+"""Endpoint configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.proto.constants import CAP_RAW, CAP_TCP, CAP_UDP
+
+
+@dataclass
+class EndpointConfig:
+    """Operator-controlled endpoint settings.
+
+    ``trusted_key_ids`` is the endpoint's trust store (§3.3): the key
+    hashes whose certificate chains it accepts, "installed and managed
+    out-of-band by the endpoint operator". These double as the rendezvous
+    channels the endpoint subscribes to (§3.3, channels are key hashes).
+    """
+
+    name: str = "endpoint"
+    trusted_key_ids: list[bytes] = field(default_factory=list)
+    capture_buffer_bytes: int = 64 * 1024
+    allow_raw: bool = True
+    max_sockets: int = 32
+    auth_timeout: float = 10.0
+    monitor_fuel: int = 10_000
+    # Ablation switch (NOT part of the paper's design): when True, the
+    # endpoint pushes captured records to the controller immediately
+    # instead of buffering until npoll. Exists to quantify why the paper
+    # chose buffering — streaming puts control traffic on the access link
+    # mid-measurement (see benchmarks/bench_a1_streaming_ablation.py).
+    stream_captures: bool = False
+
+    def caps(self) -> int:
+        value = CAP_TCP | CAP_UDP
+        if self.allow_raw:
+            value |= CAP_RAW
+        return value

@@ -1,0 +1,93 @@
+"""Endpoint contention: priority-based time sharing of an endpoint (§3.3).
+
+"At any given time, no more than one controller has control of an
+endpoint... If an experiment controller asks an endpoint to run a
+higher-priority experiment than what it is currently running, the endpoint
+notifies the experiment controller of the current experiment that its
+experiment has been interrupted, and then transfers control... The
+interrupted experiment is suspended until the higher-priority experiment
+completes or its controller suspends it by yielding control."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+
+class ControlledSession(Protocol):
+    """What the contention manager needs from a session."""
+
+    priority: int
+    name: str
+
+    def on_suspend(self, by_priority: int) -> None: ...
+    def on_resume(self) -> None: ...
+
+
+class ContentionManager:
+    """Grants exclusive control of the endpoint to one session at a time."""
+
+    def __init__(self) -> None:
+        self.active: Optional[ControlledSession] = None
+        self.suspended: list[ControlledSession] = []
+        self.preemptions = 0
+        self.resumptions = 0
+
+    def request_control(self, session: ControlledSession) -> bool:
+        """Register a session; returns True if it becomes active now.
+
+        A session that does not win control starts suspended and will be
+        resumed when it becomes the highest-priority waiter.
+        """
+        if self.active is None:
+            self.active = session
+            return True
+        if session.priority > self.active.priority:
+            preempted = self.active
+            self.suspended.append(preempted)
+            self.active = session
+            self.preemptions += 1
+            preempted.on_suspend(session.priority)
+            return True
+        self.suspended.append(session)
+        session.on_suspend(self.active.priority)
+        return False
+
+    def release(self, session: ControlledSession) -> None:
+        """A session finished: remove it and hand control onward."""
+        if self.active is session:
+            self.active = None
+            self._promote_next()
+        else:
+            try:
+                self.suspended.remove(session)
+            except ValueError:
+                pass
+
+    def yield_control(self, session: ControlledSession) -> None:
+        """Voluntary suspension: control passes to the next waiter
+        regardless of priority ("the endpoint then returns control to the
+        controller with the next highest priority suspended experiment",
+        §3.3). With no waiters, the yield is a no-op. The yielder stays
+        registered and resumes later."""
+        if self.active is not session:
+            return
+        if not self.suspended:
+            return
+        self.active = None
+        session.on_suspend(0)
+        self._promote_next()
+        self.suspended.append(session)
+
+    def _promote_next(self) -> None:
+        if not self.suspended:
+            return
+        # Highest priority first; FIFO among equals (stable by arrival).
+        best_index = 0
+        for index, session in enumerate(self.suspended):
+            if session.priority > self.suspended[best_index].priority:
+                best_index = index
+        session = self.suspended.pop(best_index)
+        self.active = session
+        self.resumptions += 1
+        session.on_resume()

@@ -1,0 +1,556 @@
+"""The PacketLab measurement endpoint agent.
+
+An endpoint is "a lightweight packet source/sink" (§1): it executes the
+Table 1 command set on behalf of an authenticated experiment controller
+and nothing else. This module ties together the pieces:
+
+- session establishment (Hello/Auth with certificate verification),
+- the per-session capture buffer, send queue, sockets, and monitors,
+- priority contention across concurrent sessions (§3.3),
+- the rendezvous subscription loop (§3.2).
+
+The endpoint never interprets experiment logic; every decision it makes is
+either a certificate/monitor check or a mechanical command execution.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.endpoint.auth import AuthError, AuthorizedExperiment, verify_auth
+from repro.endpoint.capture import CaptureBuffer
+from repro.endpoint.config import EndpointConfig
+from repro.endpoint.contention import ContentionManager
+from repro.endpoint.memory import EndpointMemory, MemoryError_, MonitorInfoView
+from repro.endpoint.netio import (
+    EndpointSocket,
+    RawEndpointSocket,
+    TcpEndpointSocket,
+    UdpEndpointSocket,
+)
+from repro.endpoint.sendqueue import SendQueue
+from repro.filtervm.program import FilterProgram, ProgramError
+from repro.filtervm.vm import FilterVM
+from repro.netsim.kernel import any_of
+from repro.netsim.node import Node
+from repro.netsim.stack.tcp import TcpError
+from repro.proto.constants import (
+    PROTOCOL_VERSION,
+    SOCK_RAW,
+    SOCK_TCP,
+    SOCK_UDP,
+    ST_BAD_ARGUMENT,
+    ST_BAD_SOCKET,
+    ST_CONNECT_FAILED,
+    ST_DENIED,
+    ST_MEM_FAULT,
+    ST_OK,
+    ST_UNSUPPORTED,
+)
+from repro.proto.framing import FramingError, MessageStream
+from repro.proto.messages import (
+    Auth,
+    AuthFail,
+    AuthOk,
+    Bye,
+    Hello,
+    Interrupted,
+    Message,
+    MRead,
+    MWrite,
+    NCap,
+    NClose,
+    NOpen,
+    NPoll,
+    NSend,
+    PollData,
+    RdzExperiment,
+    RdzSubscribe,
+    Result,
+    Resumed,
+    SessionEnd,
+    Yield,
+)
+from repro.rendezvous.descriptor import ExperimentDescriptor
+from repro.util.byteio import DecodeError
+
+
+class Session:
+    """One controller's interactive session with the endpoint."""
+
+    def __init__(
+        self,
+        endpoint: "Endpoint",
+        stream: MessageStream,
+        authorized: AuthorizedExperiment,
+        session_id: int,
+    ) -> None:
+        self.endpoint = endpoint
+        self.stream = stream
+        self.authorized = authorized
+        self.session_id = session_id
+        self.priority = authorized.priority
+        self.name = f"{endpoint.config.name}-session{session_id}"
+        sim = endpoint.node.sim
+
+        limit = endpoint.config.capture_buffer_bytes
+        cert_limit = authorized.chain_result.restrictions.buffer_limit
+        if cert_limit is not None:
+            limit = min(limit, cert_limit)
+        self.buffer = CaptureBuffer(sim, limit)
+        self.send_queue = SendQueue(sim, endpoint.node.clock)
+        self.sockets: dict[int, EndpointSocket] = {}
+        self.monitors: list[FilterVM] = []
+        info_view = MonitorInfoView(endpoint.memory)
+        for program_bytes in authorized.chain_result.monitors:
+            program = FilterProgram.decode(program_bytes)
+            vm = FilterVM(program, info=info_view,
+                          fuel_limit=endpoint.config.monitor_fuel)
+            vm.run_init()
+            self.monitors.append(vm)
+
+        self.suspended = False
+        self._resume_event = sim.event(name=f"{self.name}-resume")
+        self.outbox = sim.queue(name=f"{self.name}-outbox")
+        self._writer = None
+        self.ended = False
+        self.commands_processed = 0
+
+    # -- contention protocol ---------------------------------------------------
+
+    def on_suspend(self, by_priority: int) -> None:
+        if not self.suspended:
+            self.suspended = True
+            self._resume_event = self.endpoint.node.sim.event(
+                name=f"{self.name}-resume"
+            )
+            self.outbox.put(Interrupted(by_priority=by_priority))
+
+    def on_resume(self) -> None:
+        if self.suspended:
+            self.suspended = False
+            self._resume_event.fire(None)
+            self.outbox.put(Resumed())
+
+    # -- monitor checks ----------------------------------------------------------
+
+    def check_send(self, packet_bytes: bytes) -> bool:
+        """All certificate monitors must allow an outgoing packet."""
+        for monitor in self.monitors:
+            if monitor.has_entry("send"):
+                if monitor.invoke("send", packet=packet_bytes,
+                                  args=(0, len(packet_bytes))) == 0:
+                    return False
+        return True
+
+    def check_recv(self, packet_bytes: bytes) -> bool:
+        """All certificate monitors must allow a captured packet."""
+        for monitor in self.monitors:
+            if monitor.has_entry("recv"):
+                if monitor.invoke("recv", packet=packet_bytes,
+                                  args=(0, len(packet_bytes))) == 0:
+                    return False
+        return True
+
+    # -- processes ---------------------------------------------------------------
+
+    def start(self) -> None:
+        sim = self.endpoint.node.sim
+        self._writer = sim.spawn(self._write_loop(), name=f"{self.name}-writer")
+        sim.spawn(self._command_loop(), name=f"{self.name}-commands")
+        if self.endpoint.config.stream_captures:
+            sim.spawn(self._streaming_loop(), name=f"{self.name}-streamer")
+
+    def _streaming_loop(self) -> Generator:
+        """Ablation mode: ship captures immediately (reqid 0 PollData)
+        instead of waiting for npoll. Quantifies the §3.1 buffering
+        decision; not part of the paper's design."""
+        while not self.ended:
+            yield self.buffer.wait_for_data()
+            if self.ended:
+                return
+            records, dropped_packets, dropped_bytes = self.buffer.drain()
+            if records:
+                self.send_message(
+                    PollData(
+                        reqid=0,
+                        dropped_packets=dropped_packets,
+                        dropped_bytes=dropped_bytes,
+                        records=records,
+                    )
+                )
+
+    def _write_loop(self) -> Generator:
+        """Single writer serializing all frames onto the control stream."""
+        while True:
+            message = yield self.outbox.get()
+            if message is None or self.ended:
+                return
+            try:
+                yield from self.stream.send(message)
+            except TcpError:
+                return
+
+    def send_message(self, message: Message) -> None:
+        self.outbox.put(message)
+
+    def _command_loop(self) -> Generator:
+        try:
+            while True:
+                try:
+                    message = yield from self.stream.recv()
+                except (TcpError, FramingError):
+                    break
+                if message is None:
+                    break
+                # Suspended sessions hold commands until control returns
+                # (§3.3); Bye is honoured immediately so a preempted
+                # controller can still leave cleanly.
+                while self.suspended and not isinstance(message, Bye):
+                    yield self._resume_event
+                self.commands_processed += 1
+                if isinstance(message, Bye):
+                    self.send_message(SessionEnd(reason="bye"))
+                    break
+                if isinstance(message, Yield):
+                    self.endpoint.contention.yield_control(self)
+                    continue
+                yield from self._dispatch(message)
+        finally:
+            self._cleanup()
+
+    def _dispatch(self, message: Message) -> Generator:
+        if isinstance(message, NOpen):
+            yield from self._handle_nopen(message)
+        elif isinstance(message, NClose):
+            self._handle_nclose(message)
+        elif isinstance(message, NSend):
+            self._handle_nsend(message)
+        elif isinstance(message, NCap):
+            self._handle_ncap(message)
+        elif isinstance(message, NPoll):
+            yield from self._handle_npoll(message)
+        elif isinstance(message, MRead):
+            self._handle_mread(message)
+        elif isinstance(message, MWrite):
+            self._handle_mwrite(message)
+        else:
+            # Unknown command in an established session: report and drop.
+            self.send_message(Result(reqid=0, status=ST_BAD_ARGUMENT))
+
+    # -- command handlers -----------------------------------------------------------
+
+    def _handle_nopen(self, message: NOpen) -> Generator:
+        endpoint = self.endpoint
+        if (
+            message.sktid in self.sockets
+            or not 0 <= message.sktid < endpoint.config.max_sockets
+        ):
+            self.send_message(Result(reqid=message.reqid, status=ST_BAD_SOCKET))
+            return
+        if message.proto == SOCK_RAW:
+            if not endpoint.config.allow_raw:
+                self.send_message(Result(reqid=message.reqid, status=ST_UNSUPPORTED))
+                return
+            socket: EndpointSocket = RawEndpointSocket(
+                message.sktid,
+                endpoint.node,
+                self.buffer,
+                endpoint.clock_ticks,
+                self.check_recv,
+                MonitorInfoView(endpoint.memory),
+                exempt=endpoint.is_control_traffic,
+            )
+        elif message.proto == SOCK_UDP:
+            try:
+                socket = UdpEndpointSocket(
+                    message.sktid,
+                    endpoint.node,
+                    self.buffer,
+                    endpoint.clock_ticks,
+                    self.check_recv,
+                    locport=message.locport,
+                    remaddr=message.remaddr,
+                    remport=message.remport,
+                )
+            except RuntimeError:
+                self.send_message(Result(reqid=message.reqid, status=ST_BAD_ARGUMENT))
+                return
+        elif message.proto == SOCK_TCP:
+            try:
+                conn = endpoint.node.tcp.connect(
+                    message.remaddr, message.remport, src_port=message.locport
+                )
+                yield from conn.wait_established()
+            except TcpError:
+                self.send_message(
+                    Result(reqid=message.reqid, status=ST_CONNECT_FAILED)
+                )
+                return
+            socket = TcpEndpointSocket(
+                message.sktid,
+                endpoint.node,
+                self.buffer,
+                endpoint.clock_ticks,
+                self.check_recv,
+                conn,
+            )
+        else:
+            self.send_message(Result(reqid=message.reqid, status=ST_BAD_ARGUMENT))
+            return
+        self.sockets[message.sktid] = socket
+        self.send_message(Result(reqid=message.reqid, status=ST_OK))
+
+    def _handle_nclose(self, message: NClose) -> None:
+        socket = self.sockets.pop(message.sktid, None)
+        if socket is None:
+            self.send_message(Result(reqid=message.reqid, status=ST_BAD_SOCKET))
+            return
+        self.send_queue.cancel_for_socket(socket)
+        socket.close()
+        self.send_message(Result(reqid=message.reqid, status=ST_OK))
+
+    def _handle_nsend(self, message: NSend) -> None:
+        socket = self.sockets.get(message.sktid)
+        if socket is None:
+            self.send_message(Result(reqid=message.reqid, status=ST_BAD_SOCKET))
+            return
+        socket.pending_sends += 1
+
+        def on_fire(entry) -> bool:
+            socket.pending_sends -= 1
+            return socket.send_scheduled(entry.data, self.check_send)
+
+        self.send_queue.schedule(socket, message.data, message.time, on_fire)
+        self.send_message(Result(reqid=message.reqid, status=ST_OK))
+
+    def _handle_ncap(self, message: NCap) -> None:
+        socket = self.sockets.get(message.sktid)
+        if socket is None:
+            self.send_message(Result(reqid=message.reqid, status=ST_BAD_SOCKET))
+            return
+        if not isinstance(socket, RawEndpointSocket):
+            self.send_message(Result(reqid=message.reqid, status=ST_BAD_ARGUMENT))
+            return
+        try:
+            program = FilterProgram.decode(message.filt)
+        except (DecodeError, ProgramError):
+            self.send_message(Result(reqid=message.reqid, status=ST_BAD_ARGUMENT))
+            return
+        socket.install_filter(program, message.time)
+        self.send_message(Result(reqid=message.reqid, status=ST_OK))
+
+    def _handle_npoll(self, message: NPoll) -> Generator:
+        endpoint = self.endpoint
+        if self.buffer.is_empty:
+            clock = endpoint.node.clock
+            deadline_sim = clock.to_true_time(clock.from_ticks(message.time))
+            now = endpoint.node.sim.now
+            if deadline_sim > now:
+                timeout = endpoint.node.sim.event(name="npoll-timeout")
+                timer = endpoint.node.sim.schedule_at(deadline_sim, timeout.fire)
+                yield any_of(
+                    endpoint.node.sim, [self.buffer.wait_for_data(), timeout]
+                )
+                timer.cancel()
+        records, dropped_packets, dropped_bytes = self.buffer.drain()
+        self.send_message(
+            PollData(
+                reqid=message.reqid,
+                dropped_packets=dropped_packets,
+                dropped_bytes=dropped_bytes,
+                records=records,
+            )
+        )
+
+    def _handle_mread(self, message: MRead) -> None:
+        try:
+            data = self.endpoint.memory.read(message.memaddr, message.bytecnt)
+        except MemoryError_:
+            self.send_message(Result(reqid=message.reqid, status=ST_MEM_FAULT))
+            return
+        self.send_message(Result(reqid=message.reqid, status=ST_OK, payload=data))
+
+    def _handle_mwrite(self, message: MWrite) -> None:
+        try:
+            self.endpoint.memory.write(message.memaddr, message.data)
+        except MemoryError_:
+            self.send_message(Result(reqid=message.reqid, status=ST_MEM_FAULT))
+            return
+        self.send_message(Result(reqid=message.reqid, status=ST_OK))
+
+    # -- teardown -----------------------------------------------------------------
+
+    def _cleanup(self) -> None:
+        if self.ended:
+            return
+        self.ended = True
+        for socket in self.sockets.values():
+            socket.close()
+        self.sockets.clear()
+        self.send_queue.cancel_all()
+        self.endpoint.contention.release(self)
+        self.endpoint.sessions.pop(self.session_id, None)
+        self.outbox.put(None)  # stop the writer
+        self.endpoint.node.sim.schedule(0.05, self.stream.close)
+
+
+class Endpoint:
+    """A measurement endpoint agent running on a simulated host."""
+
+    def __init__(self, node: Node, config: Optional[EndpointConfig] = None) -> None:
+        self.node = node
+        self.config = config or EndpointConfig()
+        self.memory = EndpointMemory(self)
+        self.memory.set_caps(self.config.caps())
+        self.memory.set_addresses(ip=node.primary_address())
+        self.contention = ContentionManager()
+        self.sessions: dict[int, Session] = {}
+        self._next_session_id = 1
+        self._seen_descriptors: set[bytes] = set()
+        self.auth_failures = 0
+
+    # -- memory/data plumbing -------------------------------------------------------
+
+    def clock_ticks(self) -> int:
+        return self.node.clock.ticks()
+
+    def is_control_traffic(self, packet) -> bool:
+        """True if a packet belongs to any session's control connection.
+
+        Control connections are exempt from raw capture: consuming them
+        would sever the session and mirroring them would leak other
+        experimenters' control traffic.
+        """
+        from repro.packet.ipv4 import PROTO_TCP
+
+        if packet.proto != PROTO_TCP or len(packet.payload) < 4:
+            return False
+        src_port = int.from_bytes(packet.payload[0:2], "big")
+        dst_port = int.from_bytes(packet.payload[2:4], "big")
+        for session in self.sessions.values():
+            conn = session.stream.conn
+            if (
+                packet.src == conn.remote_ip
+                and src_port == conn.remote_port
+                and dst_port == conn.local_port
+            ):
+                return True
+        return False
+
+    def active_capture_buffer(self) -> Optional[CaptureBuffer]:
+        active = self.contention.active
+        if isinstance(active, Session):
+            return active.buffer
+        return None
+
+    def active_sockets(self) -> dict[int, EndpointSocket]:
+        active = self.contention.active
+        if isinstance(active, Session):
+            return active.sockets
+        return {}
+
+    # -- session establishment ---------------------------------------------------------
+
+    def connect_to_controller(
+        self, addr: int, port: int, descriptor_hash: bytes = b""
+    ):
+        """Contact an experiment controller and offer this endpoint."""
+        return self.node.spawn(
+            self._session_startup(addr, port, descriptor_hash),
+            name=f"{self.config.name}-connect",
+        )
+
+    def _session_startup(self, addr: int, port: int,
+                         descriptor_hash: bytes) -> Generator:
+        sim = self.node.sim
+        try:
+            conn = yield from self.node.tcp.open_connection(addr, port)
+        except TcpError:
+            return None
+        stream = MessageStream(conn)
+        yield from stream.send(
+            Hello(
+                version=PROTOCOL_VERSION,
+                caps=self.config.caps(),
+                endpoint_name=self.config.name,
+                descriptor_hash=descriptor_hash,
+            )
+        )
+        # Wait for Auth, bounded by the configured timeout.
+        def recv_safe() -> Generator:
+            try:
+                result = yield from stream.recv()
+            except (TcpError, FramingError):
+                return None
+            return result
+
+        auth_proc = sim.spawn(recv_safe(), name="auth-recv")
+        timeout_event = sim.event(name="auth-timeout")
+        timer = sim.schedule(self.config.auth_timeout, timeout_event.fire)
+        index, _ = yield any_of(sim, [auth_proc.completion, timeout_event])
+        if index == 1:
+            auth_proc.kill()
+            conn.close()
+            return None
+        timer.cancel()
+        if auth_proc.error is not None or not isinstance(auth_proc.result, Auth):
+            conn.close()
+            return None
+        auth: Auth = auth_proc.result
+        try:
+            authorized = verify_auth(auth, self.config.trusted_key_ids, sim.now)
+        except AuthError as exc:
+            self.auth_failures += 1
+            yield from stream.send(AuthFail(reason=str(exc)))
+            conn.close()
+            return None
+        session = Session(self, stream, authorized, self._next_session_id)
+        self._next_session_id += 1
+        self.sessions[session.session_id] = session
+        yield from stream.send(
+            AuthOk(session_id=session.session_id,
+                   buffer_limit=session.buffer.capacity)
+        )
+        session.start()
+        self.contention.request_control(session)
+        return session
+
+    # -- rendezvous subscription (§3.2) ---------------------------------------------------
+
+    def start_rendezvous(self, rdz_addr: int, rdz_port: int):
+        """Subscribe to rendezvous channels and chase published experiments."""
+        return self.node.spawn(
+            self._rendezvous_loop(rdz_addr, rdz_port),
+            name=f"{self.config.name}-rendezvous",
+        )
+
+    def _rendezvous_loop(self, rdz_addr: int, rdz_port: int) -> Generator:
+        try:
+            conn = yield from self.node.tcp.open_connection(rdz_addr, rdz_port)
+        except TcpError:
+            return
+        stream = MessageStream(conn)
+        yield from stream.send(
+            RdzSubscribe(channels=tuple(self.config.trusted_key_ids))
+        )
+        while True:
+            try:
+                message = yield from stream.recv()
+            except (TcpError, FramingError):
+                return
+            if message is None:
+                return
+            if not isinstance(message, RdzExperiment):
+                continue
+            try:
+                descriptor = ExperimentDescriptor.decode(message.descriptor)
+            except DecodeError:
+                continue
+            digest = descriptor.hash()
+            if digest in self._seen_descriptors:
+                continue
+            self._seen_descriptors.add(digest)
+            self.connect_to_controller(
+                descriptor.controller_addr, descriptor.controller_port, digest
+            )

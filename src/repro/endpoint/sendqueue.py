@@ -1,0 +1,111 @@
+"""Scheduled transmission (the ``nsend`` time parameter, §3.1).
+
+"To send data, the experiment controller uses the nsend command with a
+time parameter that tells the endpoint when it should send the data...
+The endpoint then attempts to send the data at the specified time,
+recording the time it was actually sent."
+
+Times are endpoint-local clock values; the queue converts them to simulator
+time through the host clock model. A time in the past sends immediately.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.netsim.clock import HostClock, NANOSECONDS
+from repro.netsim.kernel import Simulator, Timer
+
+if TYPE_CHECKING:
+    from repro.endpoint.netio import EndpointSocket
+
+
+class ScheduledSend:
+    """One queued transmission."""
+
+    __slots__ = ("socket", "data", "due_ticks", "timer", "done", "actual_ticks")
+
+    def __init__(self, socket: "EndpointSocket", data: bytes, due_ticks: int) -> None:
+        self.socket = socket
+        self.data = data
+        self.due_ticks = due_ticks
+        self.timer: Optional[Timer] = None
+        self.done = False
+        self.actual_ticks = 0
+
+
+class SendQueue:
+    """Per-session queue of time-scheduled sends."""
+
+    def __init__(self, sim: Simulator, clock: HostClock) -> None:
+        self._sim = sim
+        self._clock = clock
+        self._pending: list[ScheduledSend] = []
+        self.sends_completed = 0
+        self.sends_failed = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def schedule(
+        self,
+        socket: "EndpointSocket",
+        data: bytes,
+        due_ticks: int,
+        on_fire: Callable[[ScheduledSend], bool],
+    ) -> ScheduledSend:
+        """Queue ``data`` to be sent at local time ``due_ticks``.
+
+        ``on_fire`` performs the actual transmission (including monitor
+        checks) and returns success. Fires immediately when the time is in
+        the past.
+        """
+        entry = ScheduledSend(socket, data, due_ticks)
+        due_local = self._clock.from_ticks(due_ticks)
+        due_sim = self._clock.to_true_time(due_local)
+        delay = max(0.0, due_sim - self._sim.now)
+        self._pending.append(entry)
+
+        def fire() -> None:
+            if entry.done:
+                return
+            entry.done = True
+            entry.actual_ticks = self._clock.ticks()
+            try:
+                self._pending.remove(entry)
+            except ValueError:
+                pass
+            if on_fire(entry):
+                self.sends_completed += 1
+                entry.socket.note_send(entry.actual_ticks)
+            else:
+                self.sends_failed += 1
+
+        entry.timer = self._sim.schedule(delay, fire)
+        return entry
+
+    def cancel_for_socket(self, socket: "EndpointSocket") -> int:
+        """Cancel pending sends when a socket closes; returns the count."""
+        cancelled = 0
+        for entry in list(self._pending):
+            if entry.socket is socket:
+                entry.done = True
+                if entry.timer is not None:
+                    entry.timer.cancel()
+                self._pending.remove(entry)
+                cancelled += 1
+        return cancelled
+
+    def cancel_all(self) -> int:
+        count = 0
+        for entry in list(self._pending):
+            entry.done = True
+            if entry.timer is not None:
+                entry.timer.cancel()
+            count += 1
+        self._pending.clear()
+        return count
+
+    def pending_for_socket(self, socket: "EndpointSocket") -> int:
+        return sum(1 for entry in self._pending if entry.socket is socket)

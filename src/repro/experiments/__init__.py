@@ -1,0 +1,62 @@
+"""Measurement experiments implemented as controller logic.
+
+Each experiment is a generator function over an
+:class:`~repro.controller.client.EndpointHandle` — pure controller-side
+logic, per the paper's core design: "adding a new experiment should
+require no changes to endpoints".
+
+- :func:`measure_uplink_bandwidth` and :func:`traceroute` are the paper's
+  two §4 prototype experiments.
+- :func:`ping`, :func:`dns_query`, :func:`http_get`, and
+  :func:`passive_capture` cover the measurement types the paper cites from
+  existing platforms (Atlas's fixed set, OONI-style fetches, telescopes).
+"""
+
+from repro.experiments.bandwidth import BandwidthResult, measure_uplink_bandwidth
+from repro.experiments.dispersion import (
+    DispersionResult,
+    measure_downlink_dispersion,
+)
+from repro.experiments.dnsquery import DnsResult, dns_query
+from repro.experiments.httpget import HttpResult, http_get
+from repro.experiments.ping import PingProbe, PingResult, ping
+from repro.experiments.servers import (
+    UdpSink,
+    start_dns_server,
+    start_http_server,
+    start_udp_echo,
+)
+from repro.experiments.telescope import (
+    CapturedPacket,
+    TelescopeResult,
+    passive_capture,
+)
+from repro.experiments.traceroute import (
+    TracerouteHop,
+    TracerouteResult,
+    traceroute,
+)
+
+__all__ = [
+    "BandwidthResult",
+    "CapturedPacket",
+    "DispersionResult",
+    "DnsResult",
+    "HttpResult",
+    "PingProbe",
+    "PingResult",
+    "TelescopeResult",
+    "TracerouteHop",
+    "TracerouteResult",
+    "UdpSink",
+    "dns_query",
+    "http_get",
+    "measure_downlink_dispersion",
+    "measure_uplink_bandwidth",
+    "passive_capture",
+    "ping",
+    "start_dns_server",
+    "start_http_server",
+    "start_udp_echo",
+    "traceroute",
+]

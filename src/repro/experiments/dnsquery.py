@@ -1,0 +1,87 @@
+"""DNS measurement over the PacketLab interface.
+
+RIPE Atlas's fixed measurement set (ping, traceroute, DNS, TLS, HTTP) is
+the paper's example of a "conservative" platform; PacketLab expresses the
+same measurements as controller logic over generic sockets. This module is
+the DNS one: resolve a name at a target resolver from the endpoint's
+vantage point and time the exchange on the endpoint clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.controller.client import EndpointHandle
+from repro.netsim.clock import NANOSECONDS
+from repro.packet.dns import DnsMessage, QTYPE_A
+from repro.util.byteio import DecodeError
+
+
+@dataclass
+class DnsResult:
+    name: str
+    address: Optional[int]  # resolved A record, None on failure
+    rcode: Optional[int]
+    response_time: Optional[float]  # endpoint-clock seconds
+    answered: bool
+
+
+def dns_query(
+    handle: EndpointHandle,
+    resolver: int,
+    name: str,
+    ident: int = 0x6473,
+    timeout: float = 3.0,
+    sktid: int = 0,
+    lead_time: float = 0.2,
+) -> Generator:
+    """Query ``name`` (A record) at ``resolver`` from the endpoint.
+
+    ``lead_time`` schedules the query far enough in the future that the
+    nsend command is at the endpoint before the send instant — otherwise
+    the endpoint-clock response time includes command transit (§3.1).
+    """
+    status = yield from handle.nopen_udp(
+        sktid, locport=0, remaddr=resolver, remport=53
+    )
+    handle.expect_ok(status, "nopen(udp)")
+    query = DnsMessage.query(ident=ident, name=name)
+    t0 = yield from handle.read_clock()
+    t_snd = t0 + int(lead_time * NANOSECONDS)
+    status = yield from handle.nsend(sktid, t_snd, query.encode())
+    handle.expect_ok(status, "nsend")
+    deadline = t_snd + int(timeout * NANOSECONDS)
+    answer: Optional[DnsMessage] = None
+    answer_time = 0
+    while answer is None:
+        poll = yield from handle.npoll(deadline)
+        for record in poll.records:
+            try:
+                message = DnsMessage.decode(record.data)
+            except DecodeError:
+                continue
+            if message.ident == ident and message.is_response:
+                answer = message
+                answer_time = record.timestamp
+                break
+        if answer is None:
+            now = yield from handle.read_clock()
+            if now >= deadline:
+                break
+    yield from handle.nclose(sktid)
+    if answer is None:
+        return DnsResult(name=name, address=None, rcode=None,
+                         response_time=None, answered=False)
+    address = None
+    for record in answer.answers:
+        if record.rtype == QTYPE_A:
+            address = record.a_address
+            break
+    return DnsResult(
+        name=name,
+        address=address,
+        rcode=answer.rcode,
+        response_time=(answer_time - t_snd) / NANOSECONDS,
+        answered=True,
+    )

@@ -1,0 +1,92 @@
+"""Passive capture: PacketLab as a network telescope (§3.1).
+
+"The mirror option is useful because it allows PacketLab to be used as a
+passive packet capture interface, for example, to capture packets at a
+network telescope." A mirror filter captures copies of traffic without
+disturbing the endpoint's normal packet processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.controller.client import EndpointHandle
+from repro.filtervm import builtins
+from repro.filtervm.program import FilterProgram
+from repro.netsim.clock import NANOSECONDS
+from repro.packet.ipv4 import IPv4Packet
+from repro.util.byteio import DecodeError
+
+
+@dataclass
+class CapturedPacket:
+    timestamp: int  # endpoint-clock ticks
+    packet: IPv4Packet
+
+
+@dataclass
+class TelescopeResult:
+    packets: list[CapturedPacket] = field(default_factory=list)
+    dropped_packets: int = 0
+    dropped_bytes: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.packets)
+
+    def sources(self) -> set[int]:
+        return {captured.packet.src for captured in self.packets}
+
+
+def passive_capture(
+    handle: EndpointHandle,
+    duration: float,
+    poll_interval: float = 0.5,
+    filt: Optional[FilterProgram] = None,
+    sktid: int = 0,
+) -> Generator:
+    """Mirror traffic at the endpoint for ``duration`` endpoint seconds.
+
+    Uses a mirror-verdict filter so the endpoint's OS still sees every
+    packet — the capture is invisible to the traffic being observed.
+    """
+    status = yield from handle.nopen_raw(sktid)
+    handle.expect_ok(status, "nopen(raw)")
+    t0 = yield from handle.read_clock()
+    until = t0 + int(duration * NANOSECONDS)
+    program = filt or builtins.mirror_all()
+    status = yield from handle.ncap(sktid, until, program)
+    handle.expect_ok(status, "ncap")
+
+    result = TelescopeResult()
+    while True:
+        now = yield from handle.read_clock()
+        if now >= until:
+            break
+        deadline = min(until, now + int(poll_interval * NANOSECONDS))
+        poll = yield from handle.npoll(deadline)
+        result.dropped_packets += poll.dropped_packets
+        result.dropped_bytes += poll.dropped_bytes
+        for record in poll.records:
+            try:
+                packet = IPv4Packet.decode(record.data, verify_checksum=False)
+            except DecodeError:
+                continue
+            result.packets.append(
+                CapturedPacket(timestamp=record.timestamp, packet=packet)
+            )
+    # Final drain.
+    poll = yield from handle.npoll(0)
+    for record in poll.records:
+        try:
+            packet = IPv4Packet.decode(record.data, verify_checksum=False)
+        except DecodeError:
+            continue
+        result.packets.append(
+            CapturedPacket(timestamp=record.timestamp, packet=packet)
+        )
+    result.dropped_packets += poll.dropped_packets
+    result.dropped_bytes += poll.dropped_bytes
+    yield from handle.nclose(sktid)
+    return result

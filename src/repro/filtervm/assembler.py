@@ -1,0 +1,176 @@
+"""Textual assembler and disassembler for the filter VM.
+
+Assembly syntax::
+
+    globals 16                ; persistent memory size in bytes
+
+    func send args=2 locals=4 ; entry point with 2 args, 4 local slots
+        ldl 0                 ; push local 0
+        push 9
+        pktld8                ; load packet byte at popped offset
+        jz deny               ; labels resolve across the whole program
+        push 1
+        ret
+    deny:
+        push 0
+        ret
+
+Comments start with ``;`` or ``#``. ``call`` takes a function name.
+"""
+
+from __future__ import annotations
+
+from repro.filtervm.isa import OPS_WITH_OPERAND, Instruction, Op
+from repro.filtervm.program import FilterProgram, Function, ProgramError
+
+
+class AssemblyError(Exception):
+    """Raised on malformed assembly input."""
+
+
+_OP_BY_NAME = {op.name.lower(): op for op in Op}
+
+
+def assemble(source: str) -> FilterProgram:
+    """Assemble text into a verified :class:`FilterProgram`."""
+    code: list[Instruction] = []
+    functions: list[Function] = []
+    globals_size = 0
+    labels: dict[str, int] = {}
+    fixups: list[tuple[int, str, int]] = []  # (code index, label, line number)
+    call_fixups: list[tuple[int, str, int]] = []
+    current_function: dict | None = None
+
+    def finish_function() -> None:
+        nonlocal current_function
+        if current_function is not None:
+            functions.append(
+                Function(
+                    name=current_function["name"],
+                    offset=current_function["offset"],
+                    n_args=current_function["args"],
+                    n_locals=current_function["locals"],
+                )
+            )
+            current_function = None
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"line {line_number}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {line_number}: duplicate label {label!r}")
+            labels[label] = len(code)
+            continue
+        parts = line.split()
+        head = parts[0].lower()
+        if head == "globals":
+            if len(parts) != 2:
+                raise AssemblyError(f"line {line_number}: globals takes one argument")
+            globals_size = _parse_int(parts[1], line_number)
+            continue
+        if head == "func":
+            finish_function()
+            if len(parts) < 2:
+                raise AssemblyError(f"line {line_number}: func needs a name")
+            spec = {"name": parts[1], "offset": len(code), "args": 0, "locals": 0}
+            for extra in parts[2:]:
+                if "=" not in extra:
+                    raise AssemblyError(
+                        f"line {line_number}: expected key=value, got {extra!r}"
+                    )
+                key, _, value = extra.partition("=")
+                if key not in ("args", "locals"):
+                    raise AssemblyError(f"line {line_number}: unknown key {key!r}")
+                spec[key] = _parse_int(value, line_number)
+            spec["locals"] = max(spec["locals"], spec["args"])
+            current_function = spec
+            continue
+        if current_function is None:
+            raise AssemblyError(
+                f"line {line_number}: instruction outside any function"
+            )
+        op = _OP_BY_NAME.get(head)
+        if op is None:
+            raise AssemblyError(f"line {line_number}: unknown instruction {head!r}")
+        if op in OPS_WITH_OPERAND:
+            if len(parts) != 2:
+                raise AssemblyError(f"line {line_number}: {head} takes one operand")
+            operand_text = parts[1]
+            if op in (Op.JMP, Op.JZ, Op.JNZ) and not _is_int(operand_text):
+                fixups.append((len(code), operand_text, line_number))
+                code.append(Instruction(op, 0))
+            elif op == Op.CALL and not _is_int(operand_text):
+                call_fixups.append((len(code), operand_text, line_number))
+                code.append(Instruction(op, 0))
+            else:
+                code.append(Instruction(op, _parse_int(operand_text, line_number)))
+        else:
+            if len(parts) != 1:
+                raise AssemblyError(f"line {line_number}: {head} takes no operand")
+            code.append(Instruction(op))
+    finish_function()
+
+    for index, label, line_number in fixups:
+        if label not in labels:
+            raise AssemblyError(f"line {line_number}: undefined label {label!r}")
+        code[index] = Instruction(code[index].op, labels[label])
+    name_to_index = {function.name: i for i, function in enumerate(functions)}
+    for index, name, line_number in call_fixups:
+        if name not in name_to_index:
+            raise AssemblyError(f"line {line_number}: undefined function {name!r}")
+        code[index] = Instruction(Op.CALL, name_to_index[name])
+
+    program = FilterProgram(code=code, functions=functions, globals_size=globals_size)
+    try:
+        program.verify()
+    except ProgramError as exc:
+        raise AssemblyError(str(exc)) from exc
+    return program
+
+
+def disassemble(program: FilterProgram) -> str:
+    """Produce a readable listing (labels synthesized at jump targets)."""
+    targets = {
+        instruction.operand
+        for instruction in program.code
+        if instruction.op in (Op.JMP, Op.JZ, Op.JNZ)
+    }
+    starts = {function.offset: function for function in program.functions}
+    lines = [f"globals {program.globals_size}", ""]
+    for index, instruction in enumerate(program.code):
+        if index in starts:
+            function = starts[index]
+            lines.append(
+                f"func {function.name} args={function.n_args} "
+                f"locals={function.n_locals}"
+            )
+        if index in targets:
+            lines.append(f"L{index}:")
+        if instruction.op in (Op.JMP, Op.JZ, Op.JNZ):
+            lines.append(f"    {instruction.op.name.lower()} L{instruction.operand}")
+        elif instruction.op == Op.CALL:
+            name = program.functions[instruction.operand].name
+            lines.append(f"    call {name}")
+        else:
+            lines.append(f"    {instruction!r}")
+    return "\n".join(lines)
+
+
+def _is_int(text: str) -> bool:
+    try:
+        int(text, 0)
+        return True
+    except ValueError:
+        return False
+
+
+def _parse_int(text: str, line_number: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"line {line_number}: bad integer {text!r}") from exc

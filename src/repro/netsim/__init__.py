@@ -1,0 +1,40 @@
+"""Discrete-event network simulator: the substrate under PacketLab.
+
+The paper's endpoints, controllers, and rendezvous servers all run as
+processes on simulated hosts connected by links with real bandwidth, delay,
+queueing, and loss — so every PacketLab mechanism (scheduled sends, capture
+buffering, raw-mode filtering, clock sync) is exercised against genuine
+packet dynamics.
+"""
+
+from repro.netsim.clock import HostClock
+from repro.netsim.kernel import Event, Process, Queue, SimError, Simulator, all_of, any_of
+from repro.netsim.links import Link, LinkDirection, LinkStats
+from repro.netsim.nat import NatBox, natted_topology
+from repro.netsim.node import Interface, Node
+from repro.netsim.topology import Network, access_topology, describe, linear_topology
+from repro.netsim.trace import PacketTrace, TraceRecord
+
+__all__ = [
+    "Event",
+    "HostClock",
+    "Interface",
+    "Link",
+    "LinkDirection",
+    "LinkStats",
+    "NatBox",
+    "Network",
+    "Node",
+    "PacketTrace",
+    "Process",
+    "Queue",
+    "SimError",
+    "Simulator",
+    "TraceRecord",
+    "access_topology",
+    "all_of",
+    "any_of",
+    "describe",
+    "linear_topology",
+    "natted_topology",
+]

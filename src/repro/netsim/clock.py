@@ -1,0 +1,49 @@
+"""Per-host clocks with offset and skew.
+
+PacketLab deliberately does not require endpoints to keep accurate time
+(§3.1 "Timekeeping"): the endpoint exposes its local clock as a raw 64-bit
+value, and controllers that need accuracy must estimate the offset
+themselves. To make that estimation problem real, every simulated host gets
+its own clock with a configurable offset (seconds) and skew (fractional
+rate error, e.g. 50e-6 for 50 ppm).
+"""
+
+from __future__ import annotations
+
+from repro.netsim.kernel import Simulator
+
+NANOSECONDS = 1_000_000_000
+
+# All clocks read seconds since a common (arbitrary, large) epoch, like
+# real wall clocks: the 64-bit nanosecond tick counter stays far from both
+# zero and wraparound even for hosts whose clocks run behind.
+CLOCK_EPOCH = 1_000_000_000.0
+
+
+class HostClock:
+    """A host's local clock, possibly offset and skewed from true time."""
+
+    def __init__(self, sim: Simulator, offset: float = 0.0, skew: float = 0.0) -> None:
+        self._sim = sim
+        self.offset = offset
+        self.skew = skew
+
+    def now(self) -> float:
+        """Local time in seconds (epoch-based)."""
+        return self._sim.now * (1.0 + self.skew) + self.offset + CLOCK_EPOCH
+
+    def ticks(self) -> int:
+        """Local time as a 64-bit nanosecond tick counter.
+
+        This is the value an endpoint exposes through ``mread`` at the
+        clock offset of the info block.
+        """
+        return int(self.now() * NANOSECONDS) & 0xFFFFFFFFFFFFFFFF
+
+    def to_true_time(self, local: float) -> float:
+        """Invert the clock model: local seconds -> simulator seconds."""
+        return (local - self.offset - CLOCK_EPOCH) / (1.0 + self.skew)
+
+    def from_ticks(self, ticks: int) -> float:
+        """Convert a tick counter value back to local seconds."""
+        return ticks / NANOSECONDS

@@ -1,0 +1,396 @@
+"""Deterministic discrete-event simulation kernel.
+
+The simulator drives everything in this repository: links, protocol stacks,
+endpoints, controllers, and rendezvous servers are all simulated processes
+exchanging events in virtual time.
+
+Design:
+
+- Virtual time is a ``float`` number of seconds. Events scheduled for the
+  same instant run in scheduling order (a monotonically increasing sequence
+  number breaks ties), which makes every run bit-for-bit reproducible.
+- Concurrency uses plain Python generators (SimPy style). A process is a
+  generator that ``yield``s what it wants to wait for:
+
+  * a number — sleep that many seconds of virtual time,
+  * an :class:`Event` — resume when the event fires (receiving its value),
+  * a :class:`Process` — resume when that process finishes (receiving its
+    return value, or re-raising its exception),
+  * ``None`` — yield the scheduler for one tick (resume at the same time).
+
+- A process finishes by returning; its return value becomes the result seen
+  by joiners. An uncaught exception inside a process is delivered to its
+  joiners, or — if nothing ever joins it — re-raised out of
+  :meth:`Simulator.run` so that failures never pass silently.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class SimError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Timer:
+    """Handle for a scheduled callback; may be cancelled before it fires."""
+
+    __slots__ = ("time", "_callback", "_args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self._callback = callback
+        self._args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if not self.cancelled:
+            self._callback(*self._args)
+
+
+class Event:
+    """One-shot broadcast event carrying an optional value.
+
+    Processes wait on an event by yielding it. Firing resumes every waiter
+    (at the current virtual time) with the fired value; waiters arriving
+    after the fire resume immediately.
+    """
+
+    __slots__ = ("_sim", "_fired", "_value", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self._fired = False
+        self._value: Any = None
+        self._waiters: list[Process] = []
+        self.name = name
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        if self._fired:
+            raise SimError(f"event {self.name or id(self)} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim._resume_soon(proc, value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._fired:
+            self._sim._resume_soon(proc, self._value)
+        else:
+            self._waiters.append(proc)
+
+    def _remove_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+
+class Queue:
+    """Unbounded FIFO queue with blocking ``get`` for simulated processes.
+
+    ``put`` never blocks. ``get`` returns an :class:`Event` to yield on; if
+    an item is already available the event is pre-fired, so ``item = yield
+    queue.get()`` works uniformly.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            getter = self._getters.pop(0)
+            getter.fire(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self._sim, name=f"queue-get:{self.name}")
+        if self._items:
+            event.fire(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        if self._items:
+            return self._items.pop(0)
+        return None
+
+    def peek_all(self) -> list[Any]:
+        return list(self._items)
+
+
+class Process:
+    """A running simulated process wrapping a generator."""
+
+    __slots__ = (
+        "_sim",
+        "_gen",
+        "name",
+        "alive",
+        "result",
+        "error",
+        "_completion",
+        "_waiting_on",
+        "_joined",
+    )
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        self._sim = sim
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.alive = True
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._completion = Event(sim, name=f"completion:{self.name}")
+        self._waiting_on: Any = None
+        self._joined = False
+
+    @property
+    def completion(self) -> Event:
+        """Event fired (with the result) when the process finishes."""
+        return self._completion
+
+    def kill(self) -> None:
+        """Terminate the process without running it further."""
+        if not self.alive:
+            return
+        self.alive = False
+        if isinstance(self._waiting_on, Event):
+            self._waiting_on._remove_waiter(self)
+        elif isinstance(self._waiting_on, Timer):
+            self._waiting_on.cancel()
+        self._waiting_on = None
+        self._gen.close()
+        if not self._completion.fired:
+            self._joined = True  # killed on purpose; never re-raise at run()
+            self._completion.fire(None)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        """Support ``yield process`` (join)."""
+        self._joined = True
+        self._completion._add_waiter(proc)
+
+    def _step(self, send_value: Any = None, throw: Optional[BaseException] = None) -> None:
+        if not self.alive:
+            return
+        self._waiting_on = None
+        try:
+            if throw is not None:
+                target = self._gen.throw(throw)
+            else:
+                target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self._completion.fire(_Result(stop.value, None))
+            return
+        except BaseException as exc:  # noqa: BLE001 - delivered to joiners
+            self.alive = False
+            self.error = exc
+            if not self._joined:
+                self._sim._record_orphan_error(self, exc)
+            self._completion.fire(_Result(None, exc))
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        sim = self._sim
+        if target is None:
+            sim._resume_soon(self, None)
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                raise SimError(f"process {self.name} yielded negative delay {target}")
+            self._waiting_on = sim.schedule(target, self._step, None)
+        elif isinstance(target, Event):
+            self._waiting_on = target
+            target._add_waiter(self)
+        elif isinstance(target, Process):
+            self._waiting_on = target._completion
+            target._add_waiter(self)
+        else:
+            raise SimError(
+                f"process {self.name} yielded unsupported object {target!r}"
+            )
+
+
+class _Result:
+    """Internal wrapper distinguishing results from exceptions at resume."""
+
+    __slots__ = ("value", "error")
+
+    def __init__(self, value: Any, error: Optional[BaseException]):
+        self.value = value
+        self.error = error
+
+
+class Simulator:
+    """The discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Timer]] = []
+        self._seq = 0
+        self._orphan_errors: list[tuple[Process, BaseException]] = []
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimError(f"cannot schedule at {time} < now {self._now}")
+        timer = Timer(time, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, timer))
+        return timer
+
+    def _resume_soon(self, proc: Process, value: Any) -> None:
+        if isinstance(value, _Result):
+            if value.error is not None:
+                self.schedule(0.0, proc._step, None, value.error)
+            else:
+                self.schedule(0.0, proc._step, value.value)
+        else:
+            self.schedule(0.0, proc._step, value)
+
+    # -- processes --------------------------------------------------------
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a new process from a generator; it runs from the next tick."""
+        proc = Process(self, gen, name=name)
+        self.schedule(0.0, proc._step, None)
+        return proc
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def queue(self, name: str = "") -> Queue:
+        return Queue(self, name=name)
+
+    def _record_orphan_error(self, proc: Process, exc: BaseException) -> None:
+        self._orphan_errors.append((proc, exc))
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Run queued events until the heap drains or ``until`` is reached.
+
+        Raises the first exception that escaped a process nobody joined.
+        """
+        if self._running:
+            raise SimError("re-entrant Simulator.run")
+        self._running = True
+        try:
+            events = 0
+            while self._heap:
+                time, _seq, timer = self._heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                if timer.cancelled:
+                    continue
+                self._now = time
+                timer._fire()
+                self._check_orphans()
+                events += 1
+                if events >= max_events:
+                    raise SimError(f"event budget exhausted ({max_events} events)")
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_process(self, gen: ProcessGen, name: str = "",
+                    timeout: Optional[float] = None) -> Any:
+        """Spawn ``gen``, run until it completes, and return its result.
+
+        Convenience used heavily by tests and examples.
+        """
+        proc = self.spawn(gen, name=name)
+        deadline = None if timeout is None else self._now + timeout
+        self.run(until=deadline)
+        if proc.error is not None:
+            raise proc.error
+        if proc.alive:
+            raise SimError(f"process {proc.name} did not finish (timeout={timeout})")
+        return proc.result
+
+    def _check_orphans(self) -> None:
+        if self._orphan_errors:
+            proc, exc = self._orphan_errors[0]
+            self._orphan_errors.clear()
+            raise SimError(f"process {proc.name!r} failed: {exc!r}") from exc
+
+
+def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event that fires (with a list of values) when all ``events`` have."""
+    events = list(events)
+    combined = sim.event(name="all_of")
+    pending = len(events)
+    values: list[Any] = [None] * len(events)
+    if pending == 0:
+        combined.fire([])
+        return combined
+
+    def waiter(index: int, event: Event) -> ProcessGen:
+        value = yield event
+        nonlocal pending
+        values[index] = value
+        pending -= 1
+        if pending == 0:
+            combined.fire(values)
+
+    for index, event in enumerate(events):
+        sim.spawn(waiter(index, event), name=f"all_of[{index}]")
+    return combined
+
+
+def any_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event that fires with ``(index, value)`` of the first to fire."""
+    events = list(events)
+    combined = sim.event(name="any_of")
+
+    def waiter(index: int, event: Event) -> ProcessGen:
+        value = yield event
+        if not combined.fired:
+            combined.fire((index, value))
+
+    for index, event in enumerate(events):
+        sim.spawn(waiter(index, event), name=f"any_of[{index}]")
+    return combined

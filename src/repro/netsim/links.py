@@ -1,0 +1,175 @@
+"""Point-to-point duplex links with bandwidth, delay, queueing, and loss.
+
+Each direction of a link models:
+
+- **serialization delay** — ``bytes * 8 / bandwidth_bps``, with back-to-back
+  packets queueing behind each other (tracked by a per-direction
+  ``busy_until`` time),
+- **drop-tail queueing** — the backlog implied by ``busy_until`` is
+  converted to bytes; a packet that would push the backlog past
+  ``queue_bytes`` is dropped,
+- **propagation delay** — a constant added after serialization completes,
+- **random loss** — an independent Bernoulli drop with a seeded RNG, applied
+  to packets that survived the queue.
+
+This fluid-backlog model is deterministic and cheap while still producing
+the phenomena the paper's experiments depend on: bandwidth-limited bursts,
+queueing delay under load, and contention between control and measurement
+traffic sharing an access link.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.netsim.kernel import Simulator
+from repro.packet.ipv4 import IPv4Packet
+
+if TYPE_CHECKING:
+    from repro.netsim.node import Interface
+
+# Fixed per-packet link-layer overhead (approximates an Ethernet header).
+LINK_OVERHEAD_BYTES = 14
+
+LinkObserver = Callable[[float, "LinkDirection", IPv4Packet, str], None]
+
+
+@dataclass
+class LinkStats:
+    """Per-direction counters."""
+
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    packets_dropped_queue: int = 0
+    packets_dropped_loss: int = 0
+
+
+class LinkDirection:
+    """One direction of a duplex link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth_bps: float,
+        delay: float,
+        queue_bytes: int,
+        loss_rate: float,
+        rng: random.Random,
+        jitter: float = 0.0,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        self._sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.delay = delay
+        self.jitter = jitter
+        self.queue_bytes = queue_bytes
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self._busy_until = 0.0
+        self.dst_iface: Optional["Interface"] = None
+        self.stats = LinkStats()
+        self.observers: list[LinkObserver] = []
+
+    def _notify(self, packet: IPv4Packet, outcome: str) -> None:
+        for observer in self.observers:
+            observer(self._sim.now, self, packet, outcome)
+
+    def backlog_bytes(self) -> float:
+        """Bytes currently queued for serialization (fluid approximation)."""
+        backlog_time = max(0.0, self._busy_until - self._sim.now)
+        return backlog_time * self.bandwidth_bps / 8.0
+
+    def queueing_delay(self) -> float:
+        """Time a packet arriving now would wait before serialization."""
+        return max(0.0, self._busy_until - self._sim.now)
+
+    def transmit(self, packet: IPv4Packet) -> bool:
+        """Attempt to transmit; returns False if dropped at the queue."""
+        if self.dst_iface is None:
+            raise RuntimeError(f"link direction {self.name} not attached")
+        size = packet.total_length + LINK_OVERHEAD_BYTES
+        if self.backlog_bytes() + size > self.queue_bytes:
+            self.stats.packets_dropped_queue += 1
+            self._notify(packet, "drop-queue")
+            return False
+        now = self._sim.now
+        tx_start = max(now, self._busy_until)
+        tx_time = size * 8.0 / self.bandwidth_bps
+        self._busy_until = tx_start + tx_time
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.stats.packets_dropped_loss += 1
+            self._notify(packet, "drop-loss")
+            return True  # consumed link time, but lost in flight
+        arrival = self._busy_until + self.delay
+        if self.jitter > 0:
+            # Uniform per-packet jitter; may reorder packets (realistic).
+            arrival += self._rng.uniform(0.0, self.jitter)
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += size
+        self._notify(packet, "sent")
+        self._sim.schedule_at(arrival, self._deliver, packet)
+        return True
+
+    def _deliver(self, packet: IPv4Packet) -> None:
+        assert self.dst_iface is not None
+        self._notify(packet, "delivered")
+        self.dst_iface.deliver(packet)
+
+
+class Link:
+    """A duplex point-to-point link between two interfaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        iface_a: "Interface",
+        iface_b: "Interface",
+        bandwidth_bps: float = 100e6,
+        delay: float = 0.001,
+        queue_bytes: int = 256 * 1024,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        bandwidth_up_bps: Optional[float] = None,
+        delay_up: Optional[float] = None,
+        jitter: float = 0.0,
+    ) -> None:
+        """Connect two interfaces.
+
+        The a->b direction uses ``bandwidth_bps``/``delay``; the b->a
+        direction uses ``bandwidth_up_bps``/``delay_up`` when given
+        (asymmetric access links), else the same values.
+        """
+        name = f"{iface_a.full_name}<->{iface_b.full_name}"
+        rng = random.Random(seed)
+        self.forward = LinkDirection(
+            sim, f"{name}:fwd", bandwidth_bps, delay, queue_bytes, loss_rate,
+            rng, jitter=jitter,
+        )
+        self.reverse = LinkDirection(
+            sim,
+            f"{name}:rev",
+            bandwidth_up_bps if bandwidth_up_bps is not None else bandwidth_bps,
+            delay_up if delay_up is not None else delay,
+            queue_bytes,
+            loss_rate,
+            rng,
+            jitter=jitter,
+        )
+        self.forward.dst_iface = iface_b
+        self.reverse.dst_iface = iface_a
+        iface_a.attach(self.forward)
+        iface_b.attach(self.reverse)
+        self.name = name
+
+    def add_observer(self, observer: LinkObserver) -> None:
+        self.forward.observers.append(observer)
+        self.reverse.observers.append(observer)

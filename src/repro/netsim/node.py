@@ -1,0 +1,169 @@
+"""Simulated nodes (hosts and routers) and their interfaces."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.clock import HostClock
+from repro.netsim.kernel import Simulator
+from repro.netsim.links import LinkDirection
+from repro.netsim.stack.icmp import IcmpLayer
+from repro.netsim.stack.ip import IpLayer
+from repro.netsim.stack.tcp import TcpLayer
+from repro.netsim.stack.udp import UdpLayer
+from repro.packet.ipv4 import IPv4Packet
+from repro.util.inet import format_ip, ip_in_network
+
+
+class Interface:
+    """A network interface: an address and an attached link direction."""
+
+    def __init__(self, node: "Node", name: str) -> None:
+        self.node = node
+        self.name = name
+        self.addr = 0
+        self.prefix_len = 32
+        self._tx: Optional[LinkDirection] = None
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.node.name}.{self.name}"
+
+    @property
+    def connected(self) -> bool:
+        return self._tx is not None
+
+    def configure(self, addr: int, prefix_len: int = 24) -> "Interface":
+        self.addr = addr
+        self.prefix_len = prefix_len
+        return self
+
+    def attach(self, tx: LinkDirection) -> None:
+        if self._tx is not None:
+            raise RuntimeError(f"interface {self.full_name} already attached")
+        self._tx = tx
+
+    def send(self, packet: IPv4Packet) -> bool:
+        if self._tx is None:
+            raise RuntimeError(f"interface {self.full_name} not attached to a link")
+        return self._tx.transmit(packet)
+
+    def deliver(self, packet: IPv4Packet) -> None:
+        self.node.receive(packet, self)
+
+    def __repr__(self) -> str:
+        return f"<Interface {self.full_name} {format_ip(self.addr)}/{self.prefix_len}>"
+
+
+class Route:
+    """A routing table entry (longest-prefix match, point-to-point links)."""
+
+    __slots__ = ("prefix", "prefix_len", "iface")
+
+    def __init__(self, prefix: int, prefix_len: int, iface: Interface) -> None:
+        self.prefix = prefix
+        self.prefix_len = prefix_len
+        self.iface = iface
+
+    def matches(self, addr: int) -> bool:
+        return ip_in_network(addr, self.prefix, self.prefix_len)
+
+
+class Node:
+    """A simulated host or router with a full mini TCP/IP stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        forwarding: bool = False,
+        clock_offset: float = 0.0,
+        clock_skew: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.forwarding = forwarding
+        self.clock = HostClock(sim, offset=clock_offset, skew=clock_skew)
+        self.interfaces: list[Interface] = []
+        self.routes: list[Route] = []
+        self.ip = IpLayer(self)
+        self.icmp = IcmpLayer(self)
+        self.udp = UdpLayer(self)
+        self.tcp = TcpLayer(self)
+
+    # -- configuration ------------------------------------------------------
+
+    def add_interface(self, name: Optional[str] = None) -> Interface:
+        iface = Interface(self, name or f"eth{len(self.interfaces)}")
+        self.interfaces.append(iface)
+        return iface
+
+    def add_route(self, prefix: int, prefix_len: int, iface: Interface) -> None:
+        self.routes.append(Route(prefix, prefix_len, iface))
+
+    def set_default_route(self, iface: Interface) -> None:
+        self.add_route(0, 0, iface)
+
+    # -- address helpers ----------------------------------------------------
+
+    def local_addresses(self) -> list[int]:
+        return [iface.addr for iface in self.interfaces if iface.addr]
+
+    def is_local_address(self, addr: int) -> bool:
+        return any(iface.addr == addr for iface in self.interfaces if iface.addr)
+
+    def primary_address(self) -> int:
+        for iface in self.interfaces:
+            if iface.addr:
+                return iface.addr
+        return 0
+
+    def lookup_route(self, dst: int) -> Optional[Interface]:
+        """True longest-prefix-match across connected networks and the
+        routing table (a /32 host route beats a directly connected /30,
+        so globally computed shortest paths override link adjacency)."""
+        best_iface: Optional[Interface] = None
+        best_len = -1
+        for iface in self.interfaces:
+            if (
+                iface.addr
+                and iface.connected
+                and iface.prefix_len > best_len
+                and ip_in_network(dst, iface.addr, iface.prefix_len)
+            ):
+                best_iface = iface
+                best_len = iface.prefix_len
+        for route in self.routes:
+            if route.prefix_len > best_len and route.matches(dst):
+                best_iface = route.iface
+                best_len = route.prefix_len
+        return best_iface
+
+    # -- packet paths ---------------------------------------------------------
+
+    def receive(self, packet: IPv4Packet, iface: Optional[Interface]) -> None:
+        self.ip.receive(packet, iface)
+
+    def local_deliver(self, packet: IPv4Packet) -> None:
+        """Dispatch a packet addressed to this node to its L4 handler."""
+        from repro.packet.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+        if packet.proto == PROTO_ICMP:
+            self.icmp.receive(packet)
+        elif packet.proto == PROTO_UDP:
+            self.udp.receive(packet)
+        elif packet.proto == PROTO_TCP:
+            self.tcp.receive(packet)
+        # Unknown protocols are dropped silently (matching common kernels
+        # when no raw listener exists).
+
+    def send_ip(self, packet: IPv4Packet) -> bool:
+        return self.ip.send(packet)
+
+    def spawn(self, gen, name: str = "") -> "object":
+        """Start an application process on this node."""
+        return self.sim.spawn(gen, name=name or f"{self.name}-app")
+
+    def __repr__(self) -> str:
+        kind = "router" if self.forwarding else "host"
+        return f"<Node {self.name} ({kind})>"

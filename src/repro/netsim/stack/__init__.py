@@ -1,0 +1,38 @@
+"""The mini TCP/IP protocol stack running on every simulated node."""
+
+from repro.netsim.stack.icmp import IcmpLayer
+from repro.netsim.stack.ip import (
+    VERDICT_CONSUME,
+    VERDICT_IGNORE,
+    VERDICT_MIRROR,
+    IpLayer,
+    RawTap,
+)
+from repro.netsim.stack.tcp import (
+    ConnectionRefused,
+    ConnectionReset,
+    ConnectionTimeout,
+    TcpConnection,
+    TcpError,
+    TcpLayer,
+    TcpListener,
+)
+from repro.netsim.stack.udp import UdpLayer, UdpSocket
+
+__all__ = [
+    "ConnectionRefused",
+    "ConnectionReset",
+    "ConnectionTimeout",
+    "IcmpLayer",
+    "IpLayer",
+    "RawTap",
+    "TcpConnection",
+    "TcpError",
+    "TcpLayer",
+    "TcpListener",
+    "UdpLayer",
+    "UdpSocket",
+    "VERDICT_CONSUME",
+    "VERDICT_IGNORE",
+    "VERDICT_MIRROR",
+]

@@ -1,0 +1,266 @@
+"""Network assembly: nodes, links, addressing, and route computation.
+
+A :class:`Network` owns a simulator and a set of nodes. Links get /30
+subnets allocated from 10.0.0.0/8 automatically; :meth:`Network.compute_routes`
+runs Dijkstra (weight = link propagation delay) and installs host routes on
+every node, so any topology becomes fully routable with one call.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.netsim.kernel import Simulator
+from repro.netsim.links import Link
+from repro.netsim.node import Interface, Node
+from repro.util.inet import format_ip, parse_ip
+
+_BASE_NETWORK = parse_ip("10.0.0.0")
+
+
+class Network:
+    """A simulated network: simulator + nodes + links + addressing."""
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim or Simulator()
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self._next_subnet = 0
+
+    # -- node management ----------------------------------------------------
+
+    def add_host(
+        self,
+        name: str,
+        clock_offset: float = 0.0,
+        clock_skew: float = 0.0,
+    ) -> Node:
+        return self._add_node(
+            Node(
+                self.sim,
+                name,
+                forwarding=False,
+                clock_offset=clock_offset,
+                clock_skew=clock_skew,
+            )
+        )
+
+    def add_router(self, name: str) -> Node:
+        return self._add_node(Node(self.sim, name, forwarding=True))
+
+    def add_node(self, node: Node) -> Node:
+        """Register an externally constructed node (e.g. a NAT box)."""
+        return self._add_node(node)
+
+    def _add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name: {node.name}")
+        self.nodes[node.name] = node
+        return node
+
+    def __getitem__(self, name: str) -> Node:
+        return self.nodes[name]
+
+    # -- links ----------------------------------------------------------------
+
+    def allocate_subnet(self) -> int:
+        """Allocate the next /30 from 10.0.0.0/8."""
+        subnet = _BASE_NETWORK + self._next_subnet * 4
+        self._next_subnet += 1
+        if subnet >= parse_ip("11.0.0.0"):
+            raise RuntimeError("subnet pool exhausted")
+        return subnet
+
+    def link(
+        self,
+        a: Node | str,
+        b: Node | str,
+        bandwidth_bps: float = 100e6,
+        delay: float = 0.001,
+        queue_bytes: int = 256 * 1024,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        bandwidth_up_bps: Optional[float] = None,
+        delay_up: Optional[float] = None,
+        jitter: float = 0.0,
+    ) -> Link:
+        """Create a duplex link with automatically assigned /30 addresses."""
+        node_a = self.nodes[a] if isinstance(a, str) else a
+        node_b = self.nodes[b] if isinstance(b, str) else b
+        subnet = self.allocate_subnet()
+        iface_a = node_a.add_interface().configure(subnet + 1, 30)
+        iface_b = node_b.add_interface().configure(subnet + 2, 30)
+        link = Link(
+            self.sim,
+            iface_a,
+            iface_b,
+            bandwidth_bps=bandwidth_bps,
+            delay=delay,
+            queue_bytes=queue_bytes,
+            loss_rate=loss_rate,
+            seed=seed,
+            bandwidth_up_bps=bandwidth_up_bps,
+            delay_up=delay_up,
+            jitter=jitter,
+        )
+        self.links.append(link)
+        return link
+
+    # -- routing ----------------------------------------------------------------
+
+    def compute_routes(self) -> None:
+        """Install shortest-path (by propagation delay) host routes
+        everywhere."""
+        adjacency: dict[str, list[tuple[str, float, Interface]]] = {
+            name: [] for name in self.nodes
+        }
+        for link in self.links:
+            iface_a = link.reverse.dst_iface
+            iface_b = link.forward.dst_iface
+            assert iface_a is not None and iface_b is not None
+            adjacency[iface_a.node.name].append(
+                (iface_b.node.name, link.forward.delay, iface_a)
+            )
+            adjacency[iface_b.node.name].append(
+                (iface_a.node.name, link.reverse.delay, iface_b)
+            )
+        for name, node in self.nodes.items():
+            first_hop = self._dijkstra_first_hops(name, adjacency)
+            node.routes.clear()
+            for dest_name, iface in first_hop.items():
+                if dest_name == name:
+                    continue
+                for dest_iface in self.nodes[dest_name].interfaces:
+                    if dest_iface.addr:
+                        node.add_route(dest_iface.addr, 32, iface)
+
+    def _dijkstra_first_hops(
+        self,
+        source: str,
+        adjacency: dict[str, list[tuple[str, float, Interface]]],
+    ) -> dict[str, Interface]:
+        """Shortest paths from ``source``; returns dest -> first-hop iface."""
+        dist: dict[str, float] = {source: 0.0}
+        first_hop: dict[str, Interface] = {}
+        heap: list[tuple[float, str]] = [(0.0, source)]
+        visited: set[str] = set()
+        while heap:
+            cost, current = heapq.heappop(heap)
+            if current in visited:
+                continue
+            visited.add(current)
+            for neighbor, weight, out_iface in adjacency[current]:
+                candidate = cost + weight
+                if candidate < dist.get(neighbor, float("inf")):
+                    dist[neighbor] = candidate
+                    first_hop[neighbor] = (
+                        out_iface if current == source else first_hop[current]
+                    )
+                    heapq.heappush(heap, (candidate, neighbor))
+        return first_hop
+
+    # -- convenience topologies ---------------------------------------------
+
+    def path_to(self, src: Node | str, dst: Node | str) -> list[str]:
+        """Ground-truth router path between two nodes (for traceroute
+        validation)."""
+        src_node = self.nodes[src] if isinstance(src, str) else src
+        dst_node = self.nodes[dst] if isinstance(dst, str) else dst
+        path = [src_node.name]
+        current = src_node
+        guard = 0
+        while current is not dst_node:
+            iface = current.lookup_route(dst_node.primary_address())
+            if iface is None or iface._tx is None:
+                raise RuntimeError(
+                    f"no route from {current.name} to {dst_node.name}"
+                )
+            next_iface = iface._tx.dst_iface
+            assert next_iface is not None
+            current = next_iface.node
+            path.append(current.name)
+            guard += 1
+            if guard > 64:
+                raise RuntimeError("routing loop detected")
+        return path
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+
+def linear_topology(
+    hop_count: int,
+    link_delay: float = 0.005,
+    bandwidth_bps: float = 100e6,
+    network: Optional[Network] = None,
+) -> tuple[Network, Node, Node]:
+    """``src -- r1 -- r2 -- ... -- rN -- dst`` chain, routed and ready.
+
+    Returns ``(network, src_host, dst_host)``.
+    """
+    net = network or Network()
+    src = net.add_host("src")
+    previous: Node = src
+    for index in range(hop_count):
+        router = net.add_router(f"r{index + 1}")
+        net.link(previous, router, delay=link_delay, bandwidth_bps=bandwidth_bps)
+        previous = router
+    dst = net.add_host("dst")
+    net.link(previous, dst, delay=link_delay, bandwidth_bps=bandwidth_bps)
+    net.compute_routes()
+    return net, src, dst
+
+
+def access_topology(
+    access_bandwidth_bps: float = 10e6,
+    access_delay: float = 0.010,
+    core_delay: float = 0.020,
+    core_bandwidth_bps: float = 1e9,
+    uplink_bandwidth_bps: Optional[float] = None,
+    access_jitter: float = 0.0,
+    network: Optional[Network] = None,
+) -> tuple[Network, Node, Node, Node]:
+    """The paper's deployment shape: an endpoint behind a constrained access
+    link, a controller and a measurement target on the far side of a core.
+
+    ::
+
+        endpoint --(access link)-- gw --(core)-- controller
+                                      \\--(core)-- target
+
+    Returns ``(network, endpoint_host, controller_host, target_host)``. The
+    access link is asymmetric when ``uplink_bandwidth_bps`` is given
+    (``bandwidth`` = downstream to the endpoint, ``uplink`` = upstream).
+    """
+    net = network or Network()
+    endpoint = net.add_host("endpoint")
+    gateway = net.add_router("gw")
+    controller = net.add_host("controller")
+    target = net.add_host("target")
+    net.link(
+        gateway,
+        endpoint,
+        bandwidth_bps=access_bandwidth_bps,
+        delay=access_delay,
+        bandwidth_up_bps=uplink_bandwidth_bps,
+        jitter=access_jitter,
+    )
+    net.link(gateway, controller, bandwidth_bps=core_bandwidth_bps, delay=core_delay)
+    net.link(gateway, target, bandwidth_bps=core_bandwidth_bps, delay=core_delay)
+    net.compute_routes()
+    return net, endpoint, controller, target
+
+
+def describe(network: Network) -> str:
+    """Human-readable topology dump (handy in examples)."""
+    lines = []
+    for name, node in sorted(network.nodes.items()):
+        kind = "router" if node.forwarding else "host"
+        addrs = ", ".join(
+            f"{iface.name}={format_ip(iface.addr)}/{iface.prefix_len}"
+            for iface in node.interfaces
+            if iface.addr
+        )
+        lines.append(f"{name} ({kind}): {addrs}")
+    return "\n".join(lines)

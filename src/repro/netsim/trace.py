@@ -1,0 +1,86 @@
+"""Packet tracing: ground-truth capture of link activity.
+
+Tests and benchmarks attach a :class:`PacketTrace` to links to obtain the
+simulator's own record of what was transmitted — the ground truth against
+which PacketLab's measured results (bandwidth, paths, drop counts) are
+validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.netsim.links import Link, LinkDirection
+from repro.packet.ipv4 import IPv4Packet
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    direction_name: str
+    packet: IPv4Packet
+    outcome: str  # "sent" | "delivered" | "drop-queue" | "drop-loss"
+
+
+class PacketTrace:
+    """Collects :class:`TraceRecord`s from observed links."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def attach(self, link: Link) -> "PacketTrace":
+        link.add_observer(self._observe)
+        return self
+
+    def attach_direction(self, direction: LinkDirection) -> "PacketTrace":
+        direction.observers.append(self._observe)
+        return self
+
+    def _observe(
+        self, time: float, direction: LinkDirection, packet: IPv4Packet, outcome: str
+    ) -> None:
+        self.records.append(TraceRecord(time, direction.name, packet, outcome))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def select(
+        self,
+        outcome: Optional[str] = None,
+        proto: Optional[int] = None,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> list[TraceRecord]:
+        result = []
+        for record in self.records:
+            if outcome is not None and record.outcome != outcome:
+                continue
+            if proto is not None and record.packet.proto != proto:
+                continue
+            if src is not None and record.packet.src != src:
+                continue
+            if dst is not None and record.packet.dst != dst:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            result.append(record)
+        return result
+
+    def delivered_bytes(self, **kwargs) -> int:
+        return sum(
+            record.packet.total_length
+            for record in self.select(outcome="delivered", **kwargs)
+        )
+
+    def throughput_bps(self, records: Iterable[TraceRecord]) -> float:
+        """Observed rate over the span of the given delivered records."""
+        records = list(records)
+        if len(records) < 2:
+            return 0.0
+        span = records[-1].time - records[0].time
+        if span <= 0:
+            return 0.0
+        total_bits = sum(record.packet.total_length * 8 for record in records[1:])
+        return total_bits / span

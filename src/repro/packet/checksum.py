@@ -1,0 +1,38 @@
+"""RFC 1071 Internet checksum."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum of 16-bit words, as used by IP/ICMP/UDP/TCP.
+
+    Odd-length input is padded with a zero byte, per RFC 1071.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def pseudo_header(src: int, dst: int, proto: int, length: int) -> bytes:
+    """IPv4 pseudo-header used in UDP/TCP checksums."""
+    return bytes(
+        (
+            (src >> 24) & 0xFF,
+            (src >> 16) & 0xFF,
+            (src >> 8) & 0xFF,
+            src & 0xFF,
+            (dst >> 24) & 0xFF,
+            (dst >> 16) & 0xFF,
+            (dst >> 8) & 0xFF,
+            dst & 0xFF,
+            0,
+            proto & 0xFF,
+            (length >> 8) & 0xFF,
+            length & 0xFF,
+        )
+    )

@@ -1,0 +1,132 @@
+"""IPv4 header codec.
+
+The simulator's on-wire unit is an :class:`IPv4Packet`: a parsed IPv4 header
+plus an opaque L4 payload. Packets are encoded to real header bytes whenever
+they cross a boundary that the paper defines in terms of bytes — the raw
+socket interface, packet filters, and capture buffers — so controller-side
+code sees genuine IPv4 packets.
+
+Limitations (documented, deliberate): no IP options (IHL is always 5) and no
+fragmentation. Neither is needed by any experiment in the paper, and both
+are rejected loudly rather than mis-parsed.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from repro.packet.checksum import internet_checksum
+from repro.util.byteio import DecodeError
+
+IP_HEADER_LEN = 20
+IP_MAX_PACKET = 65535
+
+# Protocol numbers (IANA).
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_RAW_TEST = 253  # RFC 3692 experimental; used by tests for opaque payloads
+
+PROTO_NAMES = {PROTO_ICMP: "icmp", PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+DEFAULT_TTL = 64
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """A parsed IPv4 packet (header fields + payload bytes)."""
+
+    src: int
+    dst: int
+    proto: int
+    payload: bytes
+    ttl: int = DEFAULT_TTL
+    ident: int = 0
+    dscp: int = 0
+    dont_fragment: bool = True
+
+    @property
+    def total_length(self) -> int:
+        return IP_HEADER_LEN + len(self.payload)
+
+    def decremented(self) -> "IPv4Packet":
+        """Copy with TTL reduced by one (router forwarding)."""
+        if self.ttl <= 0:
+            raise ValueError("cannot decrement TTL below zero")
+        return replace(self, ttl=self.ttl - 1)
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes with a correct header checksum."""
+        if self.total_length > IP_MAX_PACKET:
+            raise ValueError(f"packet too large: {self.total_length}")
+        flags_frag = 0x4000 if self.dont_fragment else 0
+        header = struct.pack(
+            ">BBHHHBBHII",
+            (4 << 4) | 5,  # version 4, IHL 5
+            self.dscp << 2,
+            self.total_length,
+            self.ident & 0xFFFF,
+            flags_frag,
+            self.ttl & 0xFF,
+            self.proto & 0xFF,
+            0,  # checksum placeholder
+            self.src & 0xFFFFFFFF,
+            self.dst & 0xFFFFFFFF,
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack(">H", checksum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify_checksum: bool = True) -> "IPv4Packet":
+        """Parse wire bytes into a packet, validating structure."""
+        if len(data) < IP_HEADER_LEN:
+            raise DecodeError(f"IPv4 packet too short: {len(data)} bytes")
+        ver_ihl = data[0]
+        version = ver_ihl >> 4
+        ihl = ver_ihl & 0x0F
+        if version != 4:
+            raise DecodeError(f"not an IPv4 packet (version={version})")
+        if ihl != 5:
+            raise DecodeError(f"IP options unsupported (ihl={ihl})")
+        (
+            _vi,
+            tos,
+            total_length,
+            ident,
+            flags_frag,
+            ttl,
+            proto,
+            checksum,
+            src,
+            dst,
+        ) = struct.unpack(">BBHHHBBHII", data[:IP_HEADER_LEN])
+        if total_length < IP_HEADER_LEN or total_length > len(data):
+            raise DecodeError(
+                f"bad total length {total_length} for {len(data)} byte buffer"
+            )
+        if flags_frag & 0x3FFF:
+            raise DecodeError("fragmented packets unsupported")
+        if verify_checksum:
+            if internet_checksum(data[:IP_HEADER_LEN]) != 0:
+                raise DecodeError("bad IPv4 header checksum")
+        return cls(
+            src=src,
+            dst=dst,
+            proto=proto,
+            payload=bytes(data[IP_HEADER_LEN:total_length]),
+            ttl=ttl,
+            ident=ident,
+            dscp=tos >> 2,
+            dont_fragment=bool(flags_frag & 0x4000),
+        )
+
+    def summary(self) -> str:
+        from repro.util.inet import format_ip
+
+        name = PROTO_NAMES.get(self.proto, str(self.proto))
+        return (
+            f"IPv4 {format_ip(self.src)} -> {format_ip(self.dst)} "
+            f"{name} ttl={self.ttl} len={self.total_length}"
+        )

@@ -1,0 +1,46 @@
+"""Wire protocol constants."""
+
+from __future__ import annotations
+
+PROTOCOL_VERSION = 1
+
+# Socket protocol selectors for nopen (Table 1).
+SOCK_RAW = 0
+SOCK_TCP = 1
+SOCK_UDP = 2
+
+SOCK_NAMES = {SOCK_RAW: "raw", SOCK_TCP: "tcp", SOCK_UDP: "udp"}
+
+# Result status codes.
+ST_OK = 0
+ST_BAD_SOCKET = 1  # unknown or already-used socket id
+ST_BAD_ARGUMENT = 2
+ST_DENIED = 3  # rejected by a monitor or certificate restriction
+ST_UNSUPPORTED = 4  # e.g. raw socket on an endpoint without raw capability
+ST_CONNECT_FAILED = 5  # TCP connect refused / timed out
+ST_NO_ROUTE = 6
+ST_MEM_FAULT = 7  # mread/mwrite outside the accessible region
+ST_INTERNAL = 8
+
+STATUS_NAMES = {
+    ST_OK: "ok",
+    ST_BAD_SOCKET: "bad-socket",
+    ST_BAD_ARGUMENT: "bad-argument",
+    ST_DENIED: "denied",
+    ST_UNSUPPORTED: "unsupported",
+    ST_CONNECT_FAILED: "connect-failed",
+    ST_NO_ROUTE: "no-route",
+    ST_MEM_FAULT: "mem-fault",
+    ST_INTERNAL: "internal-error",
+}
+
+# Endpoint capability bits (HELLO.caps and the info block caps field).
+CAP_RAW = 1 << 0
+CAP_TCP = 1 << 1
+CAP_UDP = 1 << 2
+
+# Session end reasons.
+END_BYE = "bye"
+END_AUTH_TIMEOUT = "auth-timeout"
+END_CERT_EXPIRED = "certificate-expired"
+END_PROTOCOL_ERROR = "protocol-error"

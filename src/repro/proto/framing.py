@@ -1,0 +1,73 @@
+"""Length-prefixed message framing over a simulated TCP connection.
+
+A :class:`MessageStream` wraps a :class:`~repro.netsim.stack.tcp.TcpConnection`
+and provides ``yield from stream.send(msg)`` / ``msg = yield from
+stream.recv()`` for simulated processes. Frames are ``u32 length`` +
+message bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.netsim.stack.tcp import TcpConnection, TcpError
+from repro.proto.messages import Message, decode_message
+from repro.util.byteio import DecodeError
+
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class FramingError(Exception):
+    """Raised when the byte stream cannot be parsed into messages."""
+
+
+class MessageStream:
+    """Framed message I/O over one TCP connection."""
+
+    def __init__(self, conn: TcpConnection) -> None:
+        self.conn = conn
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+
+    def send(self, message: Message) -> Generator:
+        payload = message.encode()
+        frame = len(payload).to_bytes(4, "big") + payload
+        self.messages_sent += 1
+        self.bytes_sent += len(frame)
+        yield from self.conn.send(frame)
+
+    def recv(self) -> Generator:
+        """Receive one message; returns None on clean EOF."""
+        header = yield from self._recv_exactly(4)
+        if header is None:
+            return None
+        length = int.from_bytes(header, "big")
+        if length > MAX_FRAME:
+            raise FramingError(f"frame of {length} bytes exceeds limit")
+        body = yield from self._recv_exactly(length)
+        if body is None:
+            raise FramingError("connection closed mid-frame")
+        try:
+            message = decode_message(body)
+        except DecodeError as exc:
+            raise FramingError(f"undecodable message: {exc}") from exc
+        self.messages_received += 1
+        return message
+
+    def _recv_exactly(self, count: int) -> Generator:
+        """Read exactly ``count`` bytes, or None if EOF arrives first byte."""
+        parts: list[bytes] = []
+        remaining = count
+        while remaining > 0:
+            chunk = yield from self.conn.recv(remaining)
+            if not chunk:
+                if not parts:
+                    return None
+                raise FramingError("connection closed mid-frame")
+            parts.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(parts)
+
+    def close(self) -> None:
+        self.conn.close()

@@ -1,0 +1,553 @@
+"""PacketLab wire messages.
+
+Each message is a frozen dataclass with a class-level ``TYPE`` tag and
+symmetric ``encode_body``/``decode_body``. The endpoint commands mirror
+Table 1 exactly (``nopen``, ``nclose``, ``nsend``, ``ncap``, ``npoll``,
+``mread``, ``mwrite``); the rest is session management (hello/auth),
+contention notifications (§3.3), and the rendezvous protocol (§3.2).
+
+Times on the wire are **endpoint-local 64-bit nanosecond ticks**, exactly
+as the paper specifies: the endpoint never interprets controller wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Type
+
+from repro.util.byteio import ByteReader, ByteWriter, DecodeError
+
+_REGISTRY: dict[int, Type["Message"]] = {}
+
+
+def register(cls: Type["Message"]) -> Type["Message"]:
+    if cls.TYPE in _REGISTRY:
+        raise ValueError(f"duplicate message type {cls.TYPE}")
+    _REGISTRY[cls.TYPE] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class Message:
+    TYPE: ClassVar[int] = 0
+
+    def encode(self) -> bytes:
+        writer = ByteWriter()
+        writer.u8(self.TYPE)
+        self.encode_body(writer)
+        return writer.getvalue()
+
+    def encode_body(self, writer: ByteWriter) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "Message":  # pragma: no cover
+        raise NotImplementedError
+
+
+def decode_message(data: bytes) -> Message:
+    reader = ByteReader(data)
+    msg_type = reader.u8()
+    cls = _REGISTRY.get(msg_type)
+    if cls is None:
+        raise DecodeError(f"unknown message type {msg_type}")
+    message = cls.decode_body(reader)
+    reader.expect_end()
+    return message
+
+
+# ---------------------------------------------------------------------------
+# Session establishment
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class Hello(Message):
+    """Endpoint -> controller, first message after connecting."""
+
+    TYPE: ClassVar[int] = 1
+    version: int = 1
+    caps: int = 0
+    endpoint_name: str = ""
+    descriptor_hash: bytes = b""  # which published experiment prompted this
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u8(self.version)
+        writer.u16(self.caps)
+        writer.str_u16(self.endpoint_name)
+        writer.bytes_u16(self.descriptor_hash)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "Hello":
+        return cls(
+            version=reader.u8(),
+            caps=reader.u16(),
+            endpoint_name=reader.str_u16(),
+            descriptor_hash=reader.bytes_u16(),
+        )
+
+
+@register
+@dataclass(frozen=True)
+class Auth(Message):
+    """Controller -> endpoint: descriptor + certificate chains + priority.
+
+    A controller may hold delegations from several endpoint operators and
+    cannot know in advance which operator an incoming endpoint trusts, so
+    it presents every chain; the endpoint accepts the experiment if *any*
+    chain verifies against its trust store.
+    """
+
+    TYPE: ClassVar[int] = 2
+    descriptor: bytes = b""
+    chains: tuple[bytes, ...] = ()
+    priority: int = 0
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.bytes_u32(self.descriptor)
+        writer.u8(len(self.chains))
+        for chain in self.chains:
+            writer.bytes_u32(chain)
+        writer.u8(self.priority)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "Auth":
+        descriptor = reader.bytes_u32()
+        count = reader.u8()
+        chains = tuple(reader.bytes_u32() for _ in range(count))
+        return cls(descriptor=descriptor, chains=chains, priority=reader.u8())
+
+
+@register
+@dataclass(frozen=True)
+class AuthOk(Message):
+    TYPE: ClassVar[int] = 3
+    session_id: int = 0
+    buffer_limit: int = 0  # effective capture buffer for this session
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.session_id)
+        writer.u32(self.buffer_limit)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "AuthOk":
+        return cls(session_id=reader.u32(), buffer_limit=reader.u32())
+
+
+@register
+@dataclass(frozen=True)
+class AuthFail(Message):
+    TYPE: ClassVar[int] = 4
+    reason: str = ""
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.str_u16(self.reason)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "AuthFail":
+        return cls(reason=reader.str_u16())
+
+
+# ---------------------------------------------------------------------------
+# Table 1 commands (controller -> endpoint), each with a request id
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class NOpen(Message):
+    TYPE: ClassVar[int] = 10
+    reqid: int = 0
+    sktid: int = 0
+    proto: int = 0  # SOCK_RAW / SOCK_TCP / SOCK_UDP
+    locport: int = 0
+    remaddr: int = 0
+    remport: int = 0
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.reqid)
+        writer.u32(self.sktid)
+        writer.u8(self.proto)
+        writer.u16(self.locport)
+        writer.u32(self.remaddr)
+        writer.u16(self.remport)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "NOpen":
+        return cls(
+            reqid=reader.u32(),
+            sktid=reader.u32(),
+            proto=reader.u8(),
+            locport=reader.u16(),
+            remaddr=reader.u32(),
+            remport=reader.u16(),
+        )
+
+
+@register
+@dataclass(frozen=True)
+class NClose(Message):
+    TYPE: ClassVar[int] = 11
+    reqid: int = 0
+    sktid: int = 0
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.reqid)
+        writer.u32(self.sktid)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "NClose":
+        return cls(reqid=reader.u32(), sktid=reader.u32())
+
+
+@register
+@dataclass(frozen=True)
+class NSend(Message):
+    """Queue data to be sent on a socket at a particular endpoint-local
+    time (ticks). A time in the past means "send immediately" (§3.1)."""
+
+    TYPE: ClassVar[int] = 12
+    reqid: int = 0
+    sktid: int = 0
+    time: int = 0  # endpoint-local ns ticks
+    data: bytes = b""
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.reqid)
+        writer.u32(self.sktid)
+        writer.u64(self.time)
+        writer.bytes_u32(self.data)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "NSend":
+        return cls(
+            reqid=reader.u32(),
+            sktid=reader.u32(),
+            time=reader.u64(),
+            data=reader.bytes_u32(),
+        )
+
+
+@register
+@dataclass(frozen=True)
+class NCap(Message):
+    """Install a packet filter on a raw socket; capture until ``time``."""
+
+    TYPE: ClassVar[int] = 13
+    reqid: int = 0
+    sktid: int = 0
+    time: int = 0  # endpoint-local ns ticks; capture deadline
+    filt: bytes = b""  # serialized FilterProgram
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.reqid)
+        writer.u32(self.sktid)
+        writer.u64(self.time)
+        writer.bytes_u32(self.filt)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "NCap":
+        return cls(
+            reqid=reader.u32(),
+            sktid=reader.u32(),
+            time=reader.u64(),
+            filt=reader.bytes_u32(),
+        )
+
+
+@register
+@dataclass(frozen=True)
+class NPoll(Message):
+    """Poll for buffered network data; wait until ``time`` if none."""
+
+    TYPE: ClassVar[int] = 14
+    reqid: int = 0
+    time: int = 0  # endpoint-local ns ticks
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.reqid)
+        writer.u64(self.time)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "NPoll":
+        return cls(reqid=reader.u32(), time=reader.u64())
+
+
+@register
+@dataclass(frozen=True)
+class MRead(Message):
+    TYPE: ClassVar[int] = 15
+    reqid: int = 0
+    memaddr: int = 0
+    bytecnt: int = 0
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.reqid)
+        writer.u32(self.memaddr)
+        writer.u32(self.bytecnt)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "MRead":
+        return cls(reqid=reader.u32(), memaddr=reader.u32(), bytecnt=reader.u32())
+
+
+@register
+@dataclass(frozen=True)
+class MWrite(Message):
+    TYPE: ClassVar[int] = 16
+    reqid: int = 0
+    memaddr: int = 0
+    data: bytes = b""
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.reqid)
+        writer.u32(self.memaddr)
+        writer.bytes_u32(self.data)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "MWrite":
+        return cls(reqid=reader.u32(), memaddr=reader.u32(), data=reader.bytes_u32())
+
+
+# ---------------------------------------------------------------------------
+# Responses (endpoint -> controller)
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class Result(Message):
+    TYPE: ClassVar[int] = 20
+    reqid: int = 0
+    status: int = 0
+    payload: bytes = b""
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.reqid)
+        writer.u8(self.status)
+        writer.bytes_u32(self.payload)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "Result":
+        return cls(reqid=reader.u32(), status=reader.u8(), payload=reader.bytes_u32())
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured unit: a raw packet, a UDP datagram, or a TCP chunk."""
+
+    sktid: int
+    timestamp: int  # endpoint-local ns ticks at receipt
+    data: bytes
+
+    def encode(self, writer: ByteWriter) -> None:
+        writer.u32(self.sktid)
+        writer.u64(self.timestamp)
+        writer.bytes_u32(self.data)
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> "CaptureRecord":
+        return cls(sktid=reader.u32(), timestamp=reader.u64(), data=reader.bytes_u32())
+
+
+@register
+@dataclass(frozen=True)
+class PollData(Message):
+    """Response to NPoll: buffered records plus drop accounting (§3.1)."""
+
+    TYPE: ClassVar[int] = 21
+    reqid: int = 0
+    dropped_packets: int = 0
+    dropped_bytes: int = 0
+    records: tuple[CaptureRecord, ...] = ()
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.reqid)
+        writer.u32(self.dropped_packets)
+        writer.u64(self.dropped_bytes)
+        writer.u32(len(self.records))
+        for record in self.records:
+            record.encode(writer)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "PollData":
+        reqid = reader.u32()
+        dropped_packets = reader.u32()
+        dropped_bytes = reader.u64()
+        count = reader.u32()
+        records = tuple(CaptureRecord.decode(reader) for _ in range(count))
+        return cls(
+            reqid=reqid,
+            dropped_packets=dropped_packets,
+            dropped_bytes=dropped_bytes,
+            records=records,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Contention notifications (§3.3) and session management
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class Interrupted(Message):
+    """Endpoint -> controller: a higher-priority experiment preempted you."""
+
+    TYPE: ClassVar[int] = 30
+    by_priority: int = 0
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u8(self.by_priority)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "Interrupted":
+        return cls(by_priority=reader.u8())
+
+
+@register
+@dataclass(frozen=True)
+class Resumed(Message):
+    TYPE: ClassVar[int] = 31
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        pass
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "Resumed":
+        return cls()
+
+
+@register
+@dataclass(frozen=True)
+class SessionEnd(Message):
+    TYPE: ClassVar[int] = 32
+    reason: str = ""
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.str_u16(self.reason)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "SessionEnd":
+        return cls(reason=reader.str_u16())
+
+
+@register
+@dataclass(frozen=True)
+class Yield(Message):
+    """Controller -> endpoint: voluntarily suspend (give back control)."""
+
+    TYPE: ClassVar[int] = 33
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        pass
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "Yield":
+        return cls()
+
+
+@register
+@dataclass(frozen=True)
+class Bye(Message):
+    """Controller -> endpoint: experiment finished."""
+
+    TYPE: ClassVar[int] = 34
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        pass
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "Bye":
+        return cls()
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous protocol (§3.2)
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class RdzPublish(Message):
+    """Experimenter -> rendezvous: publish a signed experiment.
+
+    ``chain`` authorizes *publishing* (anchored at a rendezvous-operator
+    key). ``delivery_chains`` are the endpoint-operator-anchored chains;
+    the keys appearing in them determine which subscriber channels receive
+    the experiment (§3.3, Rendezvous Publish/Subscribe Channels).
+    """
+
+    TYPE: ClassVar[int] = 40
+    descriptor: bytes = b""
+    chain: bytes = b""
+    delivery_chains: tuple[bytes, ...] = ()
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.bytes_u32(self.descriptor)
+        writer.bytes_u32(self.chain)
+        writer.u16(len(self.delivery_chains))
+        for chain in self.delivery_chains:
+            writer.bytes_u32(chain)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "RdzPublish":
+        descriptor = reader.bytes_u32()
+        chain = reader.bytes_u32()
+        count = reader.u16()
+        delivery = tuple(reader.bytes_u32() for _ in range(count))
+        return cls(descriptor=descriptor, chain=chain, delivery_chains=delivery)
+
+
+@register
+@dataclass(frozen=True)
+class RdzPublishResult(Message):
+    TYPE: ClassVar[int] = 41
+    ok: bool = False
+    reason: str = ""
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u8(1 if self.ok else 0)
+        writer.str_u16(self.reason)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "RdzPublishResult":
+        return cls(ok=bool(reader.u8()), reason=reader.str_u16())
+
+
+@register
+@dataclass(frozen=True)
+class RdzSubscribe(Message):
+    """Endpoint -> rendezvous: subscribe to channels (trusted key hashes)."""
+
+    TYPE: ClassVar[int] = 42
+    channels: tuple[bytes, ...] = ()
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.u16(len(self.channels))
+        for channel in self.channels:
+            writer.bytes_u16(channel)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "RdzSubscribe":
+        count = reader.u16()
+        return cls(channels=tuple(reader.bytes_u16() for _ in range(count)))
+
+
+@register
+@dataclass(frozen=True)
+class RdzExperiment(Message):
+    """Rendezvous -> endpoint: a published experiment on your channels."""
+
+    TYPE: ClassVar[int] = 43
+    descriptor: bytes = b""
+    chain: bytes = b""
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.bytes_u32(self.descriptor)
+        writer.bytes_u32(self.chain)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "RdzExperiment":
+        return cls(descriptor=reader.bytes_u32(), chain=reader.bytes_u32())

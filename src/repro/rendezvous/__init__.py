@@ -1,0 +1,6 @@
+"""Rendezvous: publish/subscribe experiment dissemination (§3.2)."""
+
+from repro.rendezvous.descriptor import ExperimentDescriptor
+from repro.rendezvous.server import RendezvousServer, StoredExperiment
+
+__all__ = ["ExperimentDescriptor", "RendezvousServer", "StoredExperiment"]

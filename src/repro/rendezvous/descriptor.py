@@ -1,0 +1,57 @@
+"""Experiment descriptors (§3.2).
+
+"Experimenters publish their experiments to a rendezvous server by sending
+the rendezvous server an experiment descriptor, which contains the address
+of the experiment controller, the experiment name, and a URL describing
+the experiment." The descriptor's hash is what experiment certificates
+sign; it deliberately does *not* contain the experiment's commands —
+experiments are interactive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import object_hash
+from repro.util.byteio import ByteReader, ByteWriter, DecodeError
+
+_DESCRIPTOR_MAGIC = 0x5844  # "XD"
+
+
+@dataclass(frozen=True)
+class ExperimentDescriptor:
+    name: str
+    controller_addr: int  # IPv4 of the experiment controller
+    controller_port: int
+    url: str  # human-readable description of the experiment
+    experimenter_key_id: bytes  # hash of the key that signs the experiment
+
+    def encode(self) -> bytes:
+        writer = ByteWriter()
+        writer.u16(_DESCRIPTOR_MAGIC)
+        writer.str_u16(self.name)
+        writer.u32(self.controller_addr)
+        writer.u16(self.controller_port)
+        writer.str_u16(self.url)
+        writer.bytes_u16(self.experimenter_key_id)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ExperimentDescriptor":
+        reader = ByteReader(data)
+        magic = reader.u16()
+        if magic != _DESCRIPTOR_MAGIC:
+            raise DecodeError(f"bad descriptor magic {magic:#x}")
+        descriptor = cls(
+            name=reader.str_u16(),
+            controller_addr=reader.u32(),
+            controller_port=reader.u16(),
+            url=reader.str_u16(),
+            experimenter_key_id=reader.bytes_u16(),
+        )
+        reader.expect_end()
+        return descriptor
+
+    def hash(self) -> bytes:
+        """The hash that experiment certificates sign."""
+        return object_hash(self.encode())

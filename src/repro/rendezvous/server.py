@@ -1,0 +1,196 @@
+"""The rendezvous server (§3.2): publish/subscribe experiment dissemination.
+
+"Rendezvous servers are persistent. They constitute the only permanent
+infrastructure required by PacketLab." The server accepts publications
+signed (directly or through delegation) by one of its trusted publisher
+keys, and broadcasts each experiment to every subscribed endpoint whose
+channels intersect the keys appearing in the experiment's delivery chains.
+
+Channels are key hashes (§3.3): an endpoint subscribes to the hashes of
+the keys it trusts to sign experiment certificates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.crypto.chain import CertificateChain, ChainError
+from repro.netsim.kernel import Queue
+from repro.netsim.node import Node
+from repro.netsim.stack.tcp import TcpError
+from repro.proto.framing import FramingError, MessageStream
+from repro.proto.messages import (
+    RdzExperiment,
+    RdzPublish,
+    RdzPublishResult,
+    RdzSubscribe,
+)
+from repro.rendezvous.descriptor import ExperimentDescriptor
+from repro.util.byteio import DecodeError
+
+
+@dataclass
+class StoredExperiment:
+    descriptor_bytes: bytes
+    delivery_chains: tuple[bytes, ...]
+    channels: frozenset[bytes]  # key ids appearing in delivery chains
+
+
+@dataclass
+class Subscriber:
+    stream: MessageStream
+    channels: frozenset[bytes]
+    outbox: Queue
+    alive: bool = True
+
+
+class RendezvousServer:
+    """A persistent publish/subscribe server for experiment descriptors."""
+
+    def __init__(self, node: Node, port: int,
+                 trusted_publisher_key_ids: Optional[list[bytes]] = None) -> None:
+        self.node = node
+        self.port = port
+        self.trusted_publisher_key_ids = list(trusted_publisher_key_ids or [])
+        self.experiments: list[StoredExperiment] = []
+        self.subscribers: list[Subscriber] = []
+        self.publications_accepted = 0
+        self.publications_rejected = 0
+        self.experiments_delivered = 0
+        self._listener = None
+
+    def start(self) -> "RendezvousServer":
+        self._listener = self.node.tcp.listen(self.port)
+        self.node.spawn(self._accept_loop(), name="rdz-accept")
+        return self
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            conn = yield self._listener.accept()
+            self.node.spawn(self._serve(conn), name="rdz-serve")
+
+    def _serve(self, conn) -> Generator:
+        stream = MessageStream(conn)
+        try:
+            message = yield from stream.recv()
+        except (TcpError, FramingError):
+            conn.close()
+            return
+        if isinstance(message, RdzPublish):
+            yield from self._handle_publish(stream, message)
+            conn.close()
+        elif isinstance(message, RdzSubscribe):
+            yield from self._handle_subscribe(stream, message)
+        else:
+            conn.close()
+
+    # -- publication ----------------------------------------------------------
+
+    def _handle_publish(self, stream: MessageStream,
+                        message: RdzPublish) -> Generator:
+        ok, reason = self._validate_publish(message)
+        yield from stream.send(RdzPublishResult(ok=ok, reason=reason))
+        if not ok:
+            self.publications_rejected += 1
+            return
+        self.publications_accepted += 1
+        channels = self._chain_channels(message.delivery_chains)
+        stored = StoredExperiment(
+            descriptor_bytes=message.descriptor,
+            delivery_chains=message.delivery_chains,
+            channels=channels,
+        )
+        self.experiments.append(stored)
+        for subscriber in list(self.subscribers):
+            self._offer(subscriber, stored)
+
+    def _validate_publish(self, message: RdzPublish) -> tuple[bool, str]:
+        """Check the descriptor decodes and the publish chain is anchored
+        in a trusted publisher key. "The reason a certificate is required
+        at all is to protect the rendezvous server against anonymous
+        abuse" (§3.3) — so acceptance is deliberately liberal beyond
+        that."""
+        try:
+            descriptor = ExperimentDescriptor.decode(message.descriptor)
+        except DecodeError as exc:
+            return False, f"bad descriptor: {exc}"
+        try:
+            chain = CertificateChain.decode(message.chain)
+        except DecodeError as exc:
+            return False, f"bad chain: {exc}"
+        try:
+            chain.verify(
+                self.trusted_publisher_key_ids,
+                descriptor.hash(),
+                self.node.sim.now,
+            )
+        except ChainError as exc:
+            return False, f"publish not authorized: {exc}"
+        return True, ""
+
+    @staticmethod
+    def _chain_channels(delivery_chains: tuple[bytes, ...]) -> frozenset[bytes]:
+        """Every key id appearing in any delivery chain is a channel the
+        experiment is broadcast on."""
+        channels: set[bytes] = set()
+        for chain_bytes in delivery_chains:
+            try:
+                chain = CertificateChain.decode(chain_bytes)
+            except DecodeError:
+                continue
+            for cert in chain.certificates:
+                channels.add(cert.signer_key_id)
+                channels.add(cert.subject_hash)
+        return frozenset(channels)
+
+    # -- subscription ------------------------------------------------------------
+
+    def _handle_subscribe(self, stream: MessageStream,
+                          message: RdzSubscribe) -> Generator:
+        subscriber = Subscriber(
+            stream=stream,
+            channels=frozenset(message.channels),
+            outbox=self.node.sim.queue(name="rdz-sub-outbox"),
+        )
+        self.subscribers.append(subscriber)
+        self.node.spawn(self._subscriber_writer(subscriber), name="rdz-sub-writer")
+        # Replay stored experiments matching the subscription.
+        for stored in self.experiments:
+            self._offer(subscriber, stored)
+        # Keep the connection open; detect close by reading.
+        try:
+            while True:
+                message = yield from stream.recv()
+                if message is None:
+                    break
+        except (TcpError, FramingError):
+            pass
+        subscriber.alive = False
+        subscriber.outbox.put(None)
+        try:
+            self.subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def _subscriber_writer(self, subscriber: Subscriber) -> Generator:
+        while True:
+            item = yield subscriber.outbox.get()
+            if item is None or not subscriber.alive:
+                return
+            try:
+                yield from subscriber.stream.send(item)
+            except TcpError:
+                subscriber.alive = False
+                return
+
+    def _offer(self, subscriber: Subscriber, stored: StoredExperiment) -> None:
+        if not subscriber.alive:
+            return
+        if not (subscriber.channels & stored.channels):
+            return
+        chain = stored.delivery_chains[0] if stored.delivery_chains else b""
+        self.experiments_delivered += 1
+        subscriber.outbox.put(
+            RdzExperiment(descriptor=stored.descriptor_bytes, chain=chain)
+        )

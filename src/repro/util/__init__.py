@@ -1,0 +1,25 @@
+"""Shared low-level helpers: binary I/O, IPv4 address arithmetic.
+
+These utilities are deliberately dependency-free; every other subpackage
+(packet codecs, the wire protocol, the certificate encoding) builds on them.
+"""
+
+from repro.util.byteio import ByteReader, ByteWriter, DecodeError
+from repro.util.inet import (
+    format_ip,
+    ip_in_network,
+    network_of,
+    parse_ip,
+    prefix_mask,
+)
+
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "DecodeError",
+    "format_ip",
+    "ip_in_network",
+    "network_of",
+    "parse_ip",
+    "prefix_mask",
+]

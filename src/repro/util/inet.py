@@ -1,0 +1,64 @@
+"""IPv4 address arithmetic.
+
+Addresses are plain ``int`` everywhere inside the simulator and packet
+codecs; these helpers convert between dotted-quad strings and integers and
+implement the prefix operations the routing code needs. ``ipaddress`` from
+the standard library would work too, but integer addresses keep the
+simulator's hot path allocation-free.
+"""
+
+from __future__ import annotations
+
+
+def parse_ip(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer.
+
+    >>> hex(parse_ip("10.0.0.1"))
+    '0xa000001'
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        octet = int(part)
+        if octet > 255 or (len(part) > 1 and part[0] == "0"):
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(addr: int) -> str:
+    """Format an integer IPv4 address as a dotted quad.
+
+    >>> format_ip(0x0A000001)
+    '10.0.0.1'
+    """
+    if not 0 <= addr <= 0xFFFFFFFF:
+        raise ValueError(f"invalid IPv4 address integer: {addr}")
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """Netmask for a prefix length, as an integer.
+
+    >>> hex(prefix_mask(24))
+    '0xffffff00'
+    """
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"invalid prefix length: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+
+
+def network_of(addr: int, prefix_len: int) -> int:
+    """Network address of ``addr`` under the given prefix length."""
+    return addr & prefix_mask(prefix_len)
+
+
+def ip_in_network(addr: int, network: int, prefix_len: int) -> bool:
+    """True if ``addr`` falls inside ``network/prefix_len``."""
+    return network_of(addr, prefix_len) == network_of(network, prefix_len)

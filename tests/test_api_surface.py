@@ -1,0 +1,173 @@
+"""Tests for small public conveniences the main suites bypass."""
+
+import pytest
+
+from repro.controller.clocksync import ClockEstimate
+from repro.core.testbed import Testbed
+from repro.filtervm import FilterVM, builtins
+from repro.filtervm.program import ProgramError
+from repro.netsim.topology import Network
+from repro.netsim.trace import PacketTrace
+from repro.packet.ipv4 import IPv4Packet, PROTO_RAW_TEST, PROTO_TCP
+from repro.packet.tcp import FLAG_ACK, FLAG_SYN, TcpSegment, flag_names
+from repro.util.inet import parse_ip
+
+
+class TestPacketSummaries:
+    def test_ipv4_summary(self):
+        packet = IPv4Packet(src=parse_ip("10.0.0.1"), dst=parse_ip("10.0.0.2"),
+                            proto=PROTO_TCP, payload=b"x" * 10, ttl=7)
+        text = packet.summary()
+        assert "10.0.0.1 -> 10.0.0.2" in text
+        assert "tcp" in text and "ttl=7" in text
+
+    def test_tcp_summary_and_flag_names(self):
+        segment = TcpSegment(1234, 80, 100, 200, FLAG_SYN | FLAG_ACK, 512)
+        assert "SYN|ACK" in segment.summary()
+        assert flag_names(0) == "none"
+        assert segment.wire_len == 20
+
+    def test_tcp_wire_len_with_mss(self):
+        segment = TcpSegment(1, 2, 0, 0, FLAG_SYN, 0, mss=1460)
+        assert segment.wire_len == 24
+
+
+class TestResultConveniences:
+    def test_ping_rtt_avg(self):
+        from repro.experiments.ping import PingProbe, PingResult
+
+        result = PingResult(destination=1)
+        result.probes = [PingProbe(1, 0.010), PingProbe(2, 0.030),
+                         PingProbe(3, None)]
+        assert result.rtt_avg == pytest.approx(0.020)
+        assert result.rtt_min == pytest.approx(0.010)
+        assert result.received == 2
+
+    def test_ping_empty_result(self):
+        from repro.experiments.ping import PingResult
+
+        empty = PingResult(destination=1)
+        assert empty.rtt_avg is None
+        assert empty.rtt_min is None
+        assert empty.loss_fraction == 0.0
+
+    def test_traceroute_responder_path(self):
+        from repro.experiments.traceroute import TracerouteHop, TracerouteResult
+
+        result = TracerouteResult(destination=5)
+        result.hops = [TracerouteHop(1, 100, 0.01),
+                       TracerouteHop(2, None, None)]
+        assert result.responder_path() == [100, None]
+
+    def test_bandwidth_loss_fraction(self):
+        from repro.experiments.bandwidth import BandwidthResult
+
+        result = BandwidthResult(
+            measured_bps=1e6, packets_sent=10, packets_received=8,
+            burst_span=0.1, first_arrival=1.0, scheduled_lead=5.0,
+        )
+        assert result.loss_fraction == pytest.approx(0.2)
+
+
+class TestClockEstimateMath:
+    def test_round_trip_between_clock_domains(self):
+        estimate = ClockEstimate(offset=100.0, skew=50e-6, reference=10.0,
+                                 rtt_min=0.05, samples=[])
+        controller_time = 25.0
+        endpoint_time = estimate.endpoint_time_at(controller_time)
+        recovered = estimate.controller_time_for(endpoint_time)
+        assert recovered == pytest.approx(controller_time, abs=1e-6)
+
+    def test_ticks_conversion(self):
+        estimate = ClockEstimate(offset=1.0, skew=0.0, reference=0.0,
+                                 rtt_min=0.05, samples=[])
+        assert estimate.endpoint_ticks_at(2.0) == int(3.0 * 1e9)
+
+
+class TestFilterBuiltinsSurface:
+    def test_capture_from_host(self):
+        addr = parse_ip("192.0.2.77")
+        vm = FilterVM(builtins.capture_from_host(addr))
+        hit = IPv4Packet(src=addr, dst=1, proto=PROTO_RAW_TEST,
+                         payload=b"").encode()
+        miss = IPv4Packet(src=parse_ip("192.0.2.78"), dst=1,
+                          proto=PROTO_RAW_TEST, payload=b"").encode()
+        assert vm.invoke("recv", packet=hit, args=(0, len(hit))) != 0
+        assert vm.invoke("recv", packet=miss, args=(0, len(miss))) == 0
+
+    def test_function_index_lookup(self):
+        program = builtins.icmp_echo_monitor()
+        assert program.functions[program.function_index("recv")].name == "recv"
+        with pytest.raises(ProgramError, match="no function"):
+            program.function_index("missing")
+
+
+class TestTraceSurface:
+    def test_attach_direction_and_throughput(self):
+        net = Network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        link = net.link(a, b, bandwidth_bps=8e6, delay=0.0)
+        net.compute_routes()
+        trace = PacketTrace().attach_direction(link.forward)
+        src, dst = a.primary_address(), b.primary_address()
+
+        def burst():
+            for _ in range(10):
+                a.send_ip(IPv4Packet(src=src, dst=dst, proto=PROTO_RAW_TEST,
+                                     payload=b"z" * 966))
+            yield 0.0
+
+        net.sim.run_process(burst())
+        net.run()
+        delivered = trace.select(outcome="delivered")
+        assert len(delivered) == 10
+        assert trace.delivered_bytes() == 10 * (20 + 966)
+        # 1000 B wire frames at 8 Mbps -> 1 ms spacing -> 8 Mbps... well,
+        # throughput over delivered IP bytes (986 of 1000 on the wire).
+        assert trace.throughput_bps(delivered) == pytest.approx(
+            8e6 * 986 / 1000, rel=0.01
+        )
+
+    def test_throughput_degenerate_cases(self):
+        trace = PacketTrace()
+        assert trace.throughput_bps([]) == 0.0
+
+
+class TestWaitResumed:
+    def test_wait_resumed_returns_after_interrupter_leaves(self):
+        from repro.controller.session import Experimenter
+
+        testbed = Testbed()
+        urgent = Experimenter("urgent2")
+        urgent.granted_endpoint_access(testbed.operator)
+        low_server, low_desc = testbed.make_controller("low", priority=1)
+        high_server, high_desc = testbed.make_controller(
+            "high", priority=7, experimenter=urgent
+        )
+        timeline = {}
+
+        def low_logic():
+            handle = yield low_server.wait_endpoint()
+            yield from handle.read_clock()
+            yield 4.0  # the interruption lands in this window
+            assert handle.interrupted
+            yield from handle.wait_resumed()
+            timeline["resumed_at"] = testbed.sim.now
+            assert not handle.interrupted
+            handle.bye()
+
+        def high_logic():
+            yield 1.0
+            testbed.connect_endpoint(high_desc)
+            handle = yield high_server.wait_endpoint()
+            yield 5.0
+            timeline["high_done"] = testbed.sim.now
+            handle.bye()
+
+        testbed.connect_endpoint(low_desc)
+        low_proc = testbed.sim.spawn(low_logic(), name="low")
+        testbed.sim.spawn(high_logic(), name="high")
+        testbed.sim.run(until=120.0)
+        assert low_proc.error is None, low_proc.error
+        assert timeline["resumed_at"] >= timeline["high_done"]

@@ -1,0 +1,130 @@
+"""Tests for the on-endpoint baselines and the §3.5 reactive-latency
+comparison (claim C6)."""
+
+import pytest
+
+from repro.baselines.native import (
+    ChallengeServer,
+    PacedServer,
+    native_challenge_client,
+    native_paced_client,
+    native_ping,
+    packetlab_challenge_client,
+    packetlab_paced_client,
+)
+from repro.core.testbed import Testbed
+from repro.experiments.ping import ping
+
+
+class TestNativeBaselines:
+    def test_native_ping_measures_path_rtt(self):
+        testbed = Testbed()
+
+        def run():
+            rtts = yield from native_ping(
+                testbed.endpoint_host, testbed.target_address, count=3
+            )
+            return rtts
+
+        rtts = testbed.sim.run_process(run(), timeout=30.0)
+        assert all(rtt is not None for rtt in rtts)
+        assert rtts[0] == pytest.approx(0.060, rel=0.2)
+
+    def test_native_challenge_round_trip(self):
+        testbed = Testbed()
+        server = ChallengeServer(testbed.target_host, 9500).start()
+
+        def run():
+            return (yield from native_challenge_client(
+                testbed.endpoint_host, testbed.target_address, 9500
+            ))
+
+        completion = testbed.sim.run_process(run(), timeout=30.0)
+        assert server.transactions == 1
+        # Native reaction time == one path RTT (endpoint<->target).
+        assert server.reaction_times[0] == pytest.approx(0.060, rel=0.2)
+        assert completion == pytest.approx(0.120, rel=0.2)
+
+
+class TestReactiveLatency:
+    def test_packetlab_reactive_pays_controller_rtt(self):
+        """§3.5: the reply depends on received data, so the PacketLab
+        client's reaction time includes the endpoint-controller RTT."""
+        testbed = Testbed(access_delay=0.010, core_delay=0.040)
+        server = ChallengeServer(testbed.target_host, 9500).start()
+
+        def experiment(handle):
+            ok = yield from packetlab_challenge_client(
+                handle, testbed.target_address, 9500
+            )
+            return ok
+
+        assert testbed.run_experiment(experiment, timeout=120.0)
+        assert server.transactions == 1
+        packetlab_reaction = server.reaction_times[0]
+        # Native baseline on the same topology.
+        testbed2 = Testbed(access_delay=0.010, core_delay=0.040)
+        server2 = ChallengeServer(testbed2.target_host, 9500).start()
+
+        def run_native():
+            yield from native_challenge_client(
+                testbed2.endpoint_host, testbed2.target_address, 9500
+            )
+
+        testbed2.sim.run_process(run_native(), timeout=30.0)
+        native_reaction = server2.reaction_times[0]
+        # Controller RTT is ~2*(10+40)=100 ms; the PacketLab reaction must
+        # exceed native by at least most of that round trip.
+        assert packetlab_reaction > native_reaction + 0.08
+
+    def test_prescheduled_packetlab_matches_native_pacing(self):
+        """§3.5 rebuttal: with no data dependency, the controller schedules
+        ahead and the endpoint's timing matches the native client."""
+        gap = 0.5
+        testbed = Testbed()
+        paced = PacedServer(testbed.target_host, 9600).start()
+
+        def experiment(handle):
+            yield from packetlab_paced_client(
+                handle, testbed.target_address, 9600, gap
+            )
+
+        testbed.run_experiment(experiment, timeout=60.0)
+        testbed2 = Testbed()
+        paced2 = PacedServer(testbed2.target_host, 9600).start()
+
+        def run_native():
+            yield from native_paced_client(
+                testbed2.endpoint_host, testbed2.target_address, 9600, gap
+            )
+
+        testbed2.sim.run_process(run_native(), timeout=30.0)
+        assert len(paced.intervals) == 1
+        assert len(paced2.intervals) == 1
+        packetlab_error = abs(paced.intervals[0] - gap)
+        native_error = abs(paced2.intervals[0] - gap)
+        # Both within a millisecond of the requested gap.
+        assert packetlab_error < 0.001
+        assert native_error < 0.001
+
+    def test_packetlab_ping_matches_native_ping(self):
+        """Timing measurements are unaffected by the PacketLab model
+        (§3.5): endpoint timestamps make ping RTTs identical."""
+        testbed = Testbed()
+
+        def experiment(handle):
+            return (yield from ping(handle, testbed.target_address, count=3))
+
+        packetlab_result = testbed.run_experiment(experiment)
+
+        testbed2 = Testbed()
+
+        def run_native():
+            return (yield from native_ping(
+                testbed2.endpoint_host, testbed2.target_address, count=3
+            ))
+
+        native_rtts = testbed2.sim.run_process(run_native(), timeout=30.0)
+        assert packetlab_result.rtt_min == pytest.approx(
+            min(native_rtts), rel=0.05
+        )

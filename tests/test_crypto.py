@@ -1,0 +1,307 @@
+"""Tests for Ed25519, key identity, certificates, and chain verification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ed25519
+from repro.crypto.certificate import (
+    CERT_DELEGATION,
+    CERT_EXPERIMENT,
+    Certificate,
+    CertificateError,
+    Restrictions,
+)
+from repro.crypto.chain import (
+    CertificateChain,
+    ChainError,
+    build_delegated_chain,
+)
+from repro.crypto.keys import KeyPair, key_id, object_hash
+from repro.util.byteio import ByteReader, DecodeError
+
+
+class TestEd25519:
+    # RFC 8032 test vectors.
+    SEED1 = bytes.fromhex(
+        "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60"
+    )
+    PUB1 = bytes.fromhex(
+        "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+    )
+    SIG1 = bytes.fromhex(
+        "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+        "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+    )
+    SEED2 = bytes.fromhex(
+        "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb"
+    )
+    PUB2 = bytes.fromhex(
+        "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+    )
+    SIG2 = bytes.fromhex(
+        "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+        "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+    )
+
+    def test_rfc8032_vector_1(self):
+        assert ed25519.public_key_from_seed(self.SEED1) == self.PUB1
+        assert ed25519.sign(self.SEED1, b"") == self.SIG1
+        assert ed25519.verify(self.PUB1, b"", self.SIG1)
+
+    def test_rfc8032_vector_2(self):
+        assert ed25519.public_key_from_seed(self.SEED2) == self.PUB2
+        assert ed25519.sign(self.SEED2, b"\x72") == self.SIG2
+        assert ed25519.verify(self.PUB2, b"\x72", self.SIG2)
+
+    def test_wrong_message_rejected(self):
+        assert not ed25519.verify(self.PUB1, b"tampered", self.SIG1)
+
+    def test_wrong_key_rejected(self):
+        assert not ed25519.verify(self.PUB2, b"", self.SIG1)
+
+    def test_corrupted_signature_rejected(self):
+        bad = bytearray(self.SIG1)
+        bad[10] ^= 0x01
+        assert not ed25519.verify(self.PUB1, b"", bytes(bad))
+
+    def test_garbage_signature_rejected_structurally(self):
+        assert not ed25519.verify(self.PUB1, b"", b"\xff" * 64)
+        assert not ed25519.verify(self.PUB1, b"", b"short")
+        assert not ed25519.verify(b"short", b"", self.SIG1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(message=st.binary(max_size=128))
+    def test_sign_verify_property(self, message):
+        pair = KeyPair.from_name("prop")
+        signature = pair.sign(message)
+        assert ed25519.verify(pair.public_key, message, signature)
+        assert not ed25519.verify(pair.public_key, message + b"x", signature)
+
+
+class TestKeys:
+    def test_deterministic_from_name(self):
+        assert KeyPair.from_name("alice").public_key == KeyPair.from_name("alice").public_key
+        assert KeyPair.from_name("alice").key_id != KeyPair.from_name("bob").key_id
+
+    def test_generate_produces_unique_keys(self):
+        assert KeyPair.generate().key_id != KeyPair.generate().key_id
+
+    def test_key_id_is_sha256_of_public_key(self):
+        import hashlib
+
+        pair = KeyPair.from_name("x")
+        assert pair.key_id == hashlib.sha256(pair.public_key).digest()
+
+    def test_bad_seed_length_rejected(self):
+        with pytest.raises(ValueError):
+            KeyPair(b"short")
+
+
+class TestRestrictions:
+    def test_round_trip_full(self):
+        restrictions = Restrictions(
+            not_before=100.0,
+            not_after=200.0,
+            monitor=b"MONITORPROG",
+            buffer_limit=65536,
+            max_priority=5,
+        )
+        decoded = Restrictions.decode(ByteReader(restrictions.encode()))
+        assert decoded == restrictions
+
+    def test_round_trip_empty(self):
+        decoded = Restrictions.decode(ByteReader(Restrictions().encode()))
+        assert decoded.is_empty()
+
+    def test_validity_window(self):
+        restrictions = Restrictions(not_before=10.0, not_after=20.0)
+        assert not restrictions.valid_at(5.0)
+        assert restrictions.valid_at(10.0)
+        assert restrictions.valid_at(20.0)
+        assert not restrictions.valid_at(25.0)
+
+    def test_merge_takes_tightest(self):
+        a = Restrictions(not_before=5.0, not_after=100.0, buffer_limit=1000,
+                         max_priority=9)
+        b = Restrictions(not_before=10.0, not_after=50.0, buffer_limit=500,
+                         max_priority=3)
+        merged = a.merged_with(b)
+        assert merged.not_before == 10.0
+        assert merged.not_after == 50.0
+        assert merged.buffer_limit == 500
+        assert merged.max_priority == 3
+
+    def test_merge_with_empty_keeps_values(self):
+        a = Restrictions(buffer_limit=1000)
+        merged = a.merged_with(Restrictions())
+        assert merged.buffer_limit == 1000
+
+
+class TestCertificate:
+    def test_issue_and_verify(self):
+        signer = KeyPair.from_name("operator")
+        cert = Certificate.issue(signer, CERT_EXPERIMENT, object_hash(b"descriptor"))
+        assert cert.verify_with(signer.public_key)
+
+    def test_verify_rejects_wrong_key(self):
+        signer = KeyPair.from_name("operator")
+        other = KeyPair.from_name("imposter")
+        cert = Certificate.issue(signer, CERT_EXPERIMENT, object_hash(b"d"))
+        assert not cert.verify_with(other.public_key)
+
+    def test_encode_decode_round_trip(self):
+        signer = KeyPair.from_name("op")
+        cert = Certificate.issue(
+            signer,
+            CERT_DELEGATION,
+            key_id(KeyPair.from_name("delegate").public_key),
+            Restrictions(max_priority=2, buffer_limit=4096),
+        )
+        decoded = Certificate.decode(cert.encode())
+        assert decoded == cert
+        assert decoded.verify_with(signer.public_key)
+
+    def test_tampered_restrictions_break_signature(self):
+        signer = KeyPair.from_name("op")
+        cert = Certificate.issue(
+            signer, CERT_EXPERIMENT, object_hash(b"d"), Restrictions(max_priority=1)
+        )
+        raw = bytearray(cert.encode())
+        # max_priority payload byte is just before the 64-byte signature.
+        raw[-65] = 9
+        tampered = Certificate.decode(bytes(raw))
+        assert not tampered.verify_with(signer.public_key)
+
+    def test_bad_subject_hash_length_rejected(self):
+        with pytest.raises(CertificateError):
+            Certificate.issue(KeyPair.from_name("x"), CERT_EXPERIMENT, b"short")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(DecodeError):
+            Certificate.decode(b"\x00\x01\x02")
+
+
+class TestChain:
+    def setup_method(self):
+        self.operator = KeyPair.from_name("endpoint-operator")
+        self.experimenter = KeyPair.from_name("experimenter")
+        self.descriptor_hash = object_hash(b"my experiment descriptor")
+
+    def test_two_link_chain_verifies(self):
+        chain = build_delegated_chain(
+            self.operator, self.experimenter, self.descriptor_hash
+        )
+        result = chain.verify({self.operator.key_id}, self.descriptor_hash, now=0.0)
+        assert result.depth == 2
+        assert result.trust_anchor == self.operator.key_id
+
+    def test_untrusted_root_rejected(self):
+        chain = build_delegated_chain(
+            self.operator, self.experimenter, self.descriptor_hash
+        )
+        stranger = KeyPair.from_name("stranger")
+        with pytest.raises(ChainError, match="not anchored"):
+            chain.verify({stranger.key_id}, self.descriptor_hash, now=0.0)
+
+    def test_wrong_object_rejected(self):
+        chain = build_delegated_chain(
+            self.operator, self.experimenter, self.descriptor_hash
+        )
+        with pytest.raises(ChainError, match="does not sign"):
+            chain.verify({self.operator.key_id}, object_hash(b"other"), now=0.0)
+
+    def test_expired_certificate_rejected(self):
+        chain = build_delegated_chain(
+            self.operator,
+            self.experimenter,
+            self.descriptor_hash,
+            delegation_restrictions=Restrictions(not_after=100.0),
+        )
+        chain.verify({self.operator.key_id}, self.descriptor_hash, now=50.0)
+        with pytest.raises(ChainError, match="expired"):
+            chain.verify({self.operator.key_id}, self.descriptor_hash, now=150.0)
+
+    def test_multi_level_delegation(self):
+        group_lead = KeyPair.from_name("group-lead")
+        student = KeyPair.from_name("student")
+        chain = CertificateChain()
+        chain.append(
+            Certificate.delegate(self.operator, group_lead.public_key,
+                                 Restrictions(max_priority=5)),
+            self.operator.public_key,
+        )
+        chain.append(
+            Certificate.delegate(group_lead, student.public_key,
+                                 Restrictions(max_priority=3)),
+            group_lead.public_key,
+        )
+        chain.append(
+            Certificate.issue(student, CERT_EXPERIMENT, self.descriptor_hash),
+            student.public_key,
+        )
+        result = chain.verify({self.operator.key_id}, self.descriptor_hash, now=0.0)
+        assert result.depth == 3
+        # Effective priority is the tightest cap anywhere in the chain.
+        assert result.restrictions.max_priority == 3
+
+    def test_broken_delegation_link_rejected(self):
+        """A certificate signed by a key that was never delegated to."""
+        mallory = KeyPair.from_name("mallory")
+        chain = CertificateChain()
+        chain.append(
+            Certificate.delegate(self.operator, self.experimenter.public_key),
+            self.operator.public_key,
+        )
+        # Mallory signs the experiment, but the delegation went to
+        # the experimenter, not to Mallory.
+        chain.append(
+            Certificate.issue(mallory, CERT_EXPERIMENT, self.descriptor_hash),
+            mallory.public_key,
+        )
+        with pytest.raises(ChainError, match="unexpected key"):
+            chain.verify({self.operator.key_id}, self.descriptor_hash, now=0.0)
+
+    def test_delegation_cannot_terminate_chain(self):
+        chain = CertificateChain()
+        chain.append(
+            Certificate.delegate(self.operator, self.experimenter.public_key),
+            self.operator.public_key,
+        )
+        with pytest.raises(ChainError, match="experiment certificate"):
+            chain.verify(
+                {self.operator.key_id},
+                key_id(self.experimenter.public_key),
+                now=0.0,
+            )
+
+    def test_monitors_collected_from_all_levels(self):
+        chain = build_delegated_chain(
+            self.operator,
+            self.experimenter,
+            self.descriptor_hash,
+            delegation_restrictions=Restrictions(monitor=b"OP-MONITOR"),
+            experiment_restrictions=Restrictions(monitor=b"EXP-MONITOR"),
+        )
+        result = chain.verify({self.operator.key_id}, self.descriptor_hash, now=0.0)
+        assert result.monitors == (b"OP-MONITOR", b"EXP-MONITOR")
+
+    def test_chain_wire_round_trip(self):
+        chain = build_delegated_chain(
+            self.operator, self.experimenter, self.descriptor_hash,
+            delegation_restrictions=Restrictions(buffer_limit=8192),
+        )
+        decoded = CertificateChain.decode(chain.encode())
+        result = decoded.verify({self.operator.key_id}, self.descriptor_hash, now=0.0)
+        assert result.restrictions.buffer_limit == 8192
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ChainError, match="empty"):
+            CertificateChain().verify({self.operator.key_id}, self.descriptor_hash, 0.0)
+
+    def test_missing_public_key_rejected(self):
+        chain = build_delegated_chain(
+            self.operator, self.experimenter, self.descriptor_hash
+        )
+        chain.public_keys.clear()
+        with pytest.raises(ChainError, match="missing public key"):
+            chain.verify({self.operator.key_id}, self.descriptor_hash, now=0.0)

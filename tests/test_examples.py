@@ -1,0 +1,68 @@
+"""Every example script must run to completion (guards against rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_demo_module_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "PacketLab reproduction demo" in result.stdout
+
+
+def test_cpf_cli_compiles_figure2(tmp_path):
+    from repro.cpf import FIGURE2_CORRECTED
+
+    source = tmp_path / "fig2.c"
+    source.write_text(FIGURE2_CORRECTED)
+    output = tmp_path / "fig2.plf"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cpf", str(source), "-o", str(output),
+         "--disasm"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "entry points ['send', 'recv']" in result.stdout
+    assert output.exists()
+    from repro.filtervm import FilterProgram
+
+    program = FilterProgram.decode(output.read_bytes())
+    assert program.function_named("send") is not None
+
+
+def test_cpf_cli_reports_errors(tmp_path):
+    source = tmp_path / "bad.c"
+    source.write_text("uint32_t main(void) { return nosuch; }")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cpf", str(source)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 1
+    assert "undefined identifier" in result.stderr

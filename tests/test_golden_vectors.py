@@ -1,0 +1,128 @@
+"""Golden wire-format vectors.
+
+These freeze the binary formats (protocol messages, descriptors,
+certificates, chains, filter programs). A refactor that changes any byte
+on the wire breaks interoperability between independently deployed
+endpoints, controllers, and rendezvous servers — these tests make such a
+change loud and deliberate instead of silent.
+
+Vectors were generated from the deterministic test keys
+(``KeyPair.from_name``), so they are stable across runs and machines.
+"""
+
+import pytest
+
+from repro.crypto.certificate import (
+    CERT_EXPERIMENT,
+    Certificate,
+    Restrictions,
+)
+from repro.crypto.chain import CertificateChain, build_delegated_chain
+from repro.crypto.keys import KeyPair
+from repro.filtervm import FilterProgram, builtins
+from repro.proto.messages import (
+    CaptureRecord,
+    Hello,
+    Interrupted,
+    MRead,
+    NOpen,
+    NPoll,
+    NSend,
+    PollData,
+    decode_message,
+)
+from repro.rendezvous.descriptor import ExperimentDescriptor
+
+GOLDEN = {
+    "hello": "01010007000365703000201111111111111111111111111111111111111111111111111111111111111111",
+    "nopen": "0a00000001000000020100500a00000101bb",
+    "nsend": "0c000000030000000000038d7eac224d150000000900017061796c6f6164",
+    "npoll": "0e0000000500000000000003e7",
+    "mread": "0f000000060000001800000008",
+    "polldata": "15000000090000000400000000000007d00000000100000000000000000000004d00000003706b74",
+    "interrupted": "1e09",
+    "descriptor": "58440006676f6c64656e0a0000011b58000968747470733a2f2f78002007fac07a34d5fa456a54391447496debf290aae0209f927f2d815df4514e6d85",
+    "certificate": "504c0102f8ef3793de9ada6bb7108804a571c7843e60ee232ded62ef15db1b964d519770fafa533da4b24e7487c1547a72efb56c16cd8cd5f9488c728492c8a3e43d953701050000000103f5ecff42de7b9a27c1a7530cd4b68651ffde6bf6424fb038553ace1df52aca4f2e0e08055f42bd4342ad9e731a37b8f23a31e5fd801da9120ab548a1606ea80e",
+    "chain": "0200000085504c0101f8ef3793de9ada6bb7108804a571c7843e60ee232ded62ef15db1b964d51977007fac07a34d5fa456a54391447496debf290aae0209f927f2d815df4514e6d85002251ff094fefa4becddbbf17eabc872a70a9eb4ddc1120d715775126ad8a2b9370c3209023ae74f87b4378e4f682a01b6615b228f21dd2739221609ad0b1cb0900000085504c010207fac07a34d5fa456a54391447496debf290aae0209f927f2d815df4514e6d85fafa533da4b24e7487c1547a72efb56c16cd8cd5f9488c728492c8a3e43d95370070c809d454d48ed50e0c0852955bc767d8c6d79b367859a7e1d5d62f50bc6bd095e4a35cc061dff529b465e966a730190ee17240daf17a4c3768c1254070ae080200202bf249099fe6fe63f0bedf3f9c26beb8f111a09d9bc98a531fc192666fdef79b0020671ffaae8e0471bbfa7dedbd523e716bcd2bde6d04cad778d473fe184d980dc7",
+    "filter_program": "43504656010000000001000472656376000000000200020000000901000000000000000951010000000000000001304100000000000000070100000000000000014401000000000000000044",
+}
+
+
+def _operator():
+    return KeyPair.from_name("golden-operator")
+
+
+def _experimenter():
+    return KeyPair.from_name("golden-experimenter")
+
+
+def _descriptor():
+    return ExperimentDescriptor(
+        name="golden",
+        controller_addr=0x0A000001,
+        controller_port=7000,
+        url="https://x",
+        experimenter_key_id=_experimenter().key_id,
+    )
+
+
+MESSAGE_CASES = {
+    "hello": Hello(version=1, caps=7, endpoint_name="ep0",
+                   descriptor_hash=b"\x11" * 32),
+    "nopen": NOpen(reqid=1, sktid=2, proto=1, locport=80,
+                   remaddr=0x0A000001, remport=443),
+    "nsend": NSend(reqid=3, sktid=0, time=1_000_000_123_456_789,
+                   data=b"\x00\x01payload"),
+    "npoll": NPoll(reqid=5, time=999),
+    "mread": MRead(reqid=6, memaddr=24, bytecnt=8),
+    "polldata": PollData(
+        reqid=9, dropped_packets=4, dropped_bytes=2000,
+        records=(CaptureRecord(sktid=0, timestamp=77, data=b"pkt"),),
+    ),
+    "interrupted": Interrupted(by_priority=9),
+}
+
+
+class TestMessageGoldenVectors:
+    @pytest.mark.parametrize("name", sorted(MESSAGE_CASES))
+    def test_encoding_frozen(self, name):
+        assert MESSAGE_CASES[name].encode().hex() == GOLDEN[name]
+
+    @pytest.mark.parametrize("name", sorted(MESSAGE_CASES))
+    def test_golden_bytes_decode(self, name):
+        assert decode_message(bytes.fromhex(GOLDEN[name])) == MESSAGE_CASES[name]
+
+
+class TestCryptoGoldenVectors:
+    def test_descriptor_frozen(self):
+        assert _descriptor().encode().hex() == GOLDEN["descriptor"]
+        decoded = ExperimentDescriptor.decode(bytes.fromhex(GOLDEN["descriptor"]))
+        assert decoded == _descriptor()
+
+    def test_certificate_frozen(self):
+        cert = Certificate.issue(
+            _operator(), CERT_EXPERIMENT, _descriptor().hash(),
+            Restrictions(max_priority=3),
+        )
+        assert cert.encode().hex() == GOLDEN["certificate"]
+        decoded = Certificate.decode(bytes.fromhex(GOLDEN["certificate"]))
+        assert decoded.verify_with(_operator().public_key)
+
+    def test_chain_frozen_and_verifies(self):
+        chain = build_delegated_chain(
+            _operator(), _experimenter(), _descriptor().hash()
+        )
+        assert chain.encode().hex() == GOLDEN["chain"]
+        decoded = CertificateChain.decode(bytes.fromhex(GOLDEN["chain"]))
+        result = decoded.verify(
+            {_operator().key_id}, _descriptor().hash(), now=0.0
+        )
+        assert result.depth == 2
+
+
+class TestFilterProgramGoldenVector:
+    def test_program_frozen(self):
+        program = builtins.capture_protocol(1)
+        assert program.encode().hex() == GOLDEN["filter_program"]
+        decoded = FilterProgram.decode(bytes.fromhex(GOLDEN["filter_program"]))
+        assert decoded.code == program.code

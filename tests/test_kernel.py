@@ -1,0 +1,241 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.netsim.kernel import SimError, Simulator, all_of, any_of
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_run_in_scheduling_order():
+    sim = Simulator()
+    seen = []
+    for label in "abc":
+        sim.schedule(1.0, seen.append, label)
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    seen = []
+    timer = sim.schedule(1.0, seen.append, "x")
+    timer.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_run_until_stops_at_boundary():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(5.0, seen.append, "late")
+    sim.run(until=2.0)
+    assert seen == ["early"]
+    assert sim.now == 2.0
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_process_sleep_and_result():
+    sim = Simulator()
+
+    def worker():
+        yield 1.5
+        yield 0.5
+        return "done"
+
+    result = sim.run_process(worker())
+    assert result == "done"
+    assert sim.now == 2.0
+
+
+def test_process_join_receives_result():
+    sim = Simulator()
+
+    def child():
+        yield 1.0
+        return 42
+
+    def parent():
+        value = yield sim.spawn(child())
+        return value + 1
+
+    assert sim.run_process(parent()) == 43
+
+
+def test_process_join_reraises_child_exception():
+    sim = Simulator()
+
+    def child():
+        yield 1.0
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.spawn(child())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert sim.run_process(parent()) == "caught boom"
+
+
+def test_unjoined_process_error_surfaces_in_run():
+    sim = Simulator()
+
+    def crasher():
+        yield 1.0
+        raise RuntimeError("unattended failure")
+
+    sim.spawn(crasher())
+    with pytest.raises(SimError, match="unattended failure"):
+        sim.run()
+
+
+def test_event_wakes_all_waiters_with_value():
+    sim = Simulator()
+    event = sim.event()
+    results = []
+
+    def waiter(tag):
+        value = yield event
+        results.append((tag, value, sim.now))
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.schedule(3.0, event.fire, "payload")
+    sim.run()
+    assert sorted(results) == [("a", "payload", 3.0), ("b", "payload", 3.0)]
+
+
+def test_event_fired_before_wait_resumes_immediately():
+    sim = Simulator()
+    event = sim.event()
+    event.fire("early")
+
+    def waiter():
+        value = yield event
+        return value
+
+    assert sim.run_process(waiter()) == "early"
+
+
+def test_event_cannot_fire_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.fire()
+    with pytest.raises(SimError):
+        event.fire()
+
+
+def test_queue_fifo_order_and_blocking():
+    sim = Simulator()
+    queue = sim.queue()
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield queue.get()
+            got.append((sim.now, item))
+
+    def producer():
+        queue.put("x")
+        yield 1.0
+        queue.put("y")
+        queue.put("z")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert [item for _, item in got] == ["x", "y", "z"]
+
+
+def test_queue_try_get_nonblocking():
+    sim = Simulator()
+    queue = sim.queue()
+    assert queue.try_get() is None
+    queue.put(7)
+    assert queue.try_get() == 7
+
+
+def test_kill_process_stops_execution():
+    sim = Simulator()
+    progress = []
+
+    def worker():
+        progress.append("start")
+        yield 10.0
+        progress.append("never")
+
+    proc = sim.spawn(worker())
+    sim.run(until=1.0)
+    proc.kill()
+    sim.run()
+    assert progress == ["start"]
+    assert not proc.alive
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    events = [sim.event() for _ in range(3)]
+    sim.schedule(1.0, events[2].fire, "c")
+    sim.schedule(2.0, events[0].fire, "a")
+    sim.schedule(3.0, events[1].fire, "b")
+
+    def waiter():
+        values = yield all_of(sim, events)
+        return (sim.now, values)
+
+    when, values = sim.run_process(waiter())
+    assert when == 3.0
+    assert values == ["a", "b", "c"]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    events = [sim.event() for _ in range(3)]
+    sim.schedule(2.0, events[1].fire, "winner")
+    sim.schedule(5.0, events[0].fire, "slow")
+
+    def waiter():
+        index, value = yield any_of(sim, events)
+        return (sim.now, index, value)
+
+    when, index, value = sim.run_process(waiter())
+    assert (when, index, value) == (2.0, 1, "winner")
+
+
+def test_run_process_timeout_raises():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield 1.0
+
+    with pytest.raises(SimError, match="did not finish"):
+        sim.run_process(forever(), timeout=5.0)
+
+
+def test_yield_none_reschedules_same_time():
+    sim = Simulator()
+
+    def worker():
+        yield None
+        return sim.now
+
+    assert sim.run_process(worker()) == 0.0

@@ -1,0 +1,352 @@
+"""End-to-end tests for the UDP and mini-TCP stacks."""
+
+import pytest
+
+from repro.netsim.stack.tcp import (
+    ConnectionRefused,
+    ConnectionReset,
+    ESTABLISHED,
+)
+from repro.netsim.topology import Network, linear_topology
+from repro.packet.icmp import ICMP_DEST_UNREACH, UNREACH_PORT
+
+
+def simple_pair(loss=0.0, seed=0, **kwargs):
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, loss_rate=loss, seed=seed, **kwargs)
+    net.compute_routes()
+    return net, a, b
+
+
+class TestUdp:
+    def test_datagram_delivery_and_reply(self):
+        net, a, b = simple_pair()
+
+        def server():
+            sock = b.udp.bind(5000)
+            payload, src_ip, src_port, dst_ip = yield sock.recvfrom()
+            sock.sendto(payload.upper(), src_ip, src_port)
+
+        def client():
+            sock = a.udp.bind(0)
+            sock.sendto(b"hello", b.primary_address(), 5000)
+            payload, src_ip, src_port, _ = yield sock.recvfrom()
+            return payload
+
+        net.sim.spawn(server())
+        result = net.sim.run_process(client(), timeout=5.0)
+        assert result == b"HELLO"
+
+    def test_closed_port_generates_port_unreachable(self):
+        net, a, b = simple_pair()
+        errors = []
+        a.icmp.add_listener(lambda packet, m: errors.append(m))
+
+        def client():
+            sock = a.udp.bind(0)
+            sock.sendto(b"nobody home", b.primary_address(), 4444)
+            yield 1.0
+
+        net.sim.run_process(client())
+        net.run()
+        assert any(
+            m.icmp_type == ICMP_DEST_UNREACH and m.code == UNREACH_PORT
+            for m in errors
+        )
+
+    def test_bind_conflict_rejected(self):
+        net, a, b = simple_pair()
+        a.udp.bind(7000)
+        with pytest.raises(RuntimeError, match="already bound"):
+            a.udp.bind(7000)
+
+    def test_ephemeral_ports_unique(self):
+        net, a, b = simple_pair()
+        ports = {a.udp.bind(0).port for _ in range(50)}
+        assert len(ports) == 50
+
+    def test_close_releases_port(self):
+        net, a, b = simple_pair()
+        sock = a.udp.bind(8000)
+        sock.close()
+        a.udp.bind(8000)  # no conflict
+
+    def test_rx_buffer_limit_drops(self):
+        net, a, b = simple_pair()
+        server_sock = b.udp.bind(5001)
+        server_sock.rx_buffer_limit = 3
+
+        def client():
+            sock = a.udp.bind(0)
+            for i in range(10):
+                sock.sendto(bytes([i]), b.primary_address(), 5001)
+            yield 1.0
+
+        net.sim.run_process(client())
+        net.run()
+        assert len(server_sock.rx) == 3
+        assert server_sock.rx_dropped == 7
+
+
+class TestTcpHandshakeAndData:
+    def test_connect_and_echo(self):
+        net, a, b = simple_pair()
+
+        def server():
+            listener = b.tcp.listen(80)
+            conn = yield listener.accept()
+            data = yield from conn.recv_exactly(5)
+            yield from conn.send(data[::-1])
+            conn.close()
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            yield from conn.send(b"hello")
+            result = yield from conn.recv_exactly(5)
+            conn.close()
+            yield from conn.wait_closed()
+            return result
+
+        net.sim.spawn(server())
+        assert net.sim.run_process(client(), timeout=30.0) == b"olleh"
+
+    def test_connect_to_closed_port_refused(self):
+        net, a, b = simple_pair()
+
+        def client():
+            try:
+                yield from a.tcp.open_connection(b.primary_address(), 81)
+            except ConnectionRefused:
+                return "refused"
+            return "connected"
+
+        assert net.sim.run_process(client(), timeout=30.0) == "refused"
+        assert b.tcp.rsts_sent == 1
+
+    def test_bulk_transfer_integrity(self):
+        net, a, b = simple_pair(bandwidth_bps=20e6, delay=0.005)
+        payload = bytes(range(256)) * 512  # 128 KiB
+
+        def server():
+            listener = b.tcp.listen(80)
+            conn = yield listener.accept()
+            received = yield from conn.recv_exactly(len(payload))
+            conn.close()
+            return received
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            yield from conn.send(payload)
+            conn.close()
+
+        server_proc = net.sim.spawn(server())
+        net.sim.spawn(client())
+        net.run()
+        assert server_proc.result == payload
+
+    def test_bulk_transfer_under_loss(self):
+        net, a, b = simple_pair(loss=0.02, seed=7, bandwidth_bps=20e6, delay=0.005)
+        payload = b"R" * 40000
+
+        def server():
+            listener = b.tcp.listen(80)
+            conn = yield listener.accept()
+            received = yield from conn.recv_exactly(len(payload))
+            return received
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            yield from conn.send(payload)
+            conn.close()
+
+        server_proc = net.sim.spawn(server())
+        net.sim.spawn(client())
+        net.run()
+        assert server_proc.result == payload
+
+    def test_recv_returns_empty_at_eof(self):
+        net, a, b = simple_pair()
+
+        def server():
+            listener = b.tcp.listen(80)
+            conn = yield listener.accept()
+            yield from conn.send(b"bye")
+            conn.close()
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            data = yield from conn.recv_exactly(3)
+            eof = yield from conn.recv()
+            conn.close()
+            return data, eof
+
+        net.sim.spawn(server())
+        data, eof = net.sim.run_process(client(), timeout=30.0)
+        assert (data, eof) == (b"bye", b"")
+
+    def test_abort_resets_peer(self):
+        net, a, b = simple_pair()
+
+        def server():
+            listener = b.tcp.listen(80)
+            conn = yield listener.accept()
+            try:
+                yield from conn.recv()
+            except ConnectionReset:
+                return "reset"
+            return "clean"
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            yield 0.1
+            conn.abort()
+
+        server_proc = net.sim.spawn(server())
+        net.sim.spawn(client())
+        net.run()
+        assert server_proc.result == "reset"
+
+
+class TestTcpFlowControl:
+    def test_receiver_window_limits_sender(self):
+        """A non-reading receiver forces the sender to block: back pressure."""
+        net, a, b = simple_pair(bandwidth_bps=100e6, delay=0.001)
+        listener = b.tcp.listen(80, rcv_buffer=4096)
+
+        def server():
+            conn = yield listener.accept()
+            yield 5.0  # do not read for a long time
+            data = yield from conn.recv_exactly(40000)
+            return data
+
+        sent_progress = []
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80,
+                                                    snd_buffer=8192)
+            payload = b"F" * 40000
+            yield from conn.send(payload)
+            sent_progress.append(net.sim.now)
+            conn.close()
+
+        server_proc = net.sim.spawn(server())
+        net.sim.spawn(client())
+        net.run()
+        assert server_proc.result == b"F" * 40000
+        # The sender could not finish before the receiver started reading.
+        assert sent_progress[0] > 5.0
+
+    def test_zero_window_then_reopen(self):
+        net, a, b = simple_pair()
+        listener = b.tcp.listen(80, rcv_buffer=2048)
+        state = {}
+
+        def server():
+            conn = yield listener.accept()
+            state["conn"] = conn
+            yield 2.0
+            # Drain everything slowly.
+            total = b""
+            while len(total) < 10000:
+                chunk = yield from conn.recv(1000)
+                if not chunk:
+                    break
+                total += chunk
+            return total
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            yield from conn.send(b"Z" * 10000)
+            conn.close()
+
+        server_proc = net.sim.spawn(server())
+        net.sim.spawn(client())
+        net.run()
+        assert server_proc.result == b"Z" * 10000
+
+
+class TestTcpStateMachine:
+    def test_establishment_state(self):
+        net, a, b = simple_pair()
+        listener = b.tcp.listen(80)
+        conns = {}
+
+        def server():
+            conn = yield listener.accept()
+            conns["server"] = conn
+            yield 1.0
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            conns["client"] = conn
+            yield 0.5
+            assert conn.state == ESTABLISHED
+
+        net.sim.spawn(server())
+        net.sim.run_process(client(), timeout=5.0)
+        assert conns["server"].state == ESTABLISHED
+
+    def test_graceful_close_reaches_closed_on_both_sides(self):
+        net, a, b = simple_pair()
+        listener = b.tcp.listen(80)
+        conns = {}
+
+        def server():
+            conn = yield listener.accept()
+            conns["server"] = conn
+            data = yield from conn.recv()
+            conn.close()
+            yield from conn.wait_closed()
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            conns["client"] = conn
+            yield from conn.send(b"x")
+            conn.close()
+            yield from conn.wait_closed()
+
+        net.sim.spawn(server())
+        net.sim.spawn(client())
+        net.run()
+        assert conns["client"].state == "CLOSED"
+        assert conns["server"].state == "CLOSED"
+
+    def test_retransmission_recovers_lost_syn(self):
+        net, a, b = simple_pair(loss=0.35, seed=99)
+
+        def server():
+            listener = b.tcp.listen(80)
+            conn = yield listener.accept()
+            yield from conn.send(b"ok")
+            conn.close()
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            data = yield from conn.recv_exactly(2)
+            return data
+
+        net.sim.spawn(server())
+        assert net.sim.run_process(client(), timeout=120.0) == b"ok"
+
+
+def test_tcp_works_across_routers():
+    net, src, dst = linear_topology(hop_count=3, bandwidth_bps=50e6)
+
+    def server():
+        listener = dst.tcp.listen(8080)
+        conn = yield listener.accept()
+        request = yield from conn.recv_exactly(4)
+        yield from conn.send(request * 2)
+        conn.close()
+
+    def client():
+        conn = yield from src.tcp.open_connection(dst.primary_address(), 8080)
+        yield from conn.send(b"data")
+        result = yield from conn.recv_exactly(8)
+        conn.close()
+        return result
+
+    net.sim.spawn(server())
+    assert net.sim.run_process(client(), timeout=30.0) == b"datadata"

@@ -1,0 +1,224 @@
+"""Tests for the wire protocol: message codecs and framing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.topology import Network
+from repro.proto.framing import FramingError, MessageStream
+from repro.proto.messages import (
+    Auth,
+    AuthFail,
+    AuthOk,
+    Bye,
+    CaptureRecord,
+    Hello,
+    Interrupted,
+    MRead,
+    MWrite,
+    NCap,
+    NClose,
+    NOpen,
+    NPoll,
+    NSend,
+    PollData,
+    RdzExperiment,
+    RdzPublish,
+    RdzPublishResult,
+    RdzSubscribe,
+    Result,
+    Resumed,
+    SessionEnd,
+    Yield,
+    decode_message,
+)
+from repro.util.byteio import DecodeError
+
+ALL_MESSAGES = [
+    Hello(version=1, caps=7, endpoint_name="ep-九", descriptor_hash=b"\x01" * 32),
+    Auth(descriptor=b"DESC", chains=(b"CHAIN1", b"CHAIN2"), priority=3),
+    AuthOk(session_id=42, buffer_limit=65536),
+    AuthFail(reason="chain rejected: expired"),
+    NOpen(reqid=1, sktid=2, proto=1, locport=80, remaddr=0x0A000001, remport=443),
+    NClose(reqid=2, sktid=2),
+    NSend(reqid=3, sktid=0, time=2**63, data=b"\x00\xffdata"),
+    NCap(reqid=4, sktid=0, time=10**18, filt=b"PROGRAM"),
+    NPoll(reqid=5, time=123456789),
+    MRead(reqid=6, memaddr=24, bytecnt=8),
+    MWrite(reqid=7, memaddr=2048, data=b"scratch"),
+    Result(reqid=8, status=3, payload=b"\x01\x02"),
+    PollData(
+        reqid=9,
+        dropped_packets=4,
+        dropped_bytes=2000,
+        records=(
+            CaptureRecord(sktid=0, timestamp=999, data=b"pkt1"),
+            CaptureRecord(sktid=1, timestamp=1000, data=b""),
+        ),
+    ),
+    Interrupted(by_priority=9),
+    Resumed(),
+    SessionEnd(reason="bye"),
+    Yield(),
+    Bye(),
+    RdzPublish(descriptor=b"D", chain=b"C", delivery_chains=(b"E1", b"E2")),
+    RdzPublishResult(ok=True, reason=""),
+    RdzSubscribe(channels=(b"\x01" * 32, b"\x02" * 32)),
+    RdzExperiment(descriptor=b"D", chain=b"C"),
+]
+
+
+class TestMessageCodecs:
+    @pytest.mark.parametrize(
+        "message", ALL_MESSAGES, ids=[type(m).__name__ for m in ALL_MESSAGES]
+    )
+    def test_round_trip(self, message):
+        assert decode_message(message.encode()) == message
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DecodeError, match="unknown message type"):
+            decode_message(b"\xfe")
+
+    def test_trailing_garbage_rejected(self):
+        raw = Bye().encode() + b"extra"
+        with pytest.raises(DecodeError, match="trailing"):
+            decode_message(raw)
+
+    def test_truncated_rejected(self):
+        raw = ALL_MESSAGES[0].encode()
+        with pytest.raises(DecodeError):
+            decode_message(raw[:-3])
+
+    @given(
+        reqid=st.integers(0, 0xFFFFFFFF),
+        time=st.integers(0, 2**64 - 1),
+        data=st.binary(max_size=2000),
+    )
+    def test_nsend_round_trip_property(self, reqid, time, data):
+        message = NSend(reqid=reqid, sktid=1, time=time, data=data)
+        assert decode_message(message.encode()) == message
+
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.integers(0, 31), st.integers(0, 2**64 - 1),
+                st.binary(max_size=100),
+            ),
+            max_size=10,
+        )
+    )
+    def test_polldata_round_trip_property(self, records):
+        message = PollData(
+            reqid=1,
+            dropped_packets=0,
+            dropped_bytes=0,
+            records=tuple(
+                CaptureRecord(sktid=s, timestamp=t, data=d) for s, t, d in records
+            ),
+        )
+        assert decode_message(message.encode()) == message
+
+
+class TestFraming:
+    def _pair(self):
+        net = Network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.link(a, b)
+        net.compute_routes()
+        return net, a, b
+
+    def test_messages_cross_a_tcp_connection(self):
+        net, a, b = self._pair()
+        received = []
+
+        def server():
+            listener = b.tcp.listen(7000)
+            conn = yield listener.accept()
+            stream = MessageStream(conn)
+            while True:
+                message = yield from stream.recv()
+                if message is None:
+                    return
+                received.append(message)
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 7000)
+            stream = MessageStream(conn)
+            for message in ALL_MESSAGES:
+                yield from stream.send(message)
+            conn.close()
+
+        net.sim.spawn(server(), name="server")
+        net.sim.spawn(client(), name="client")
+        net.run()
+        assert received == ALL_MESSAGES
+
+    def test_recv_returns_none_on_clean_eof(self):
+        net, a, b = self._pair()
+
+        def server():
+            listener = b.tcp.listen(7000)
+            conn = yield listener.accept()
+            stream = MessageStream(conn)
+            first = yield from stream.recv()
+            second = yield from stream.recv()
+            return first, second
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 7000)
+            stream = MessageStream(conn)
+            yield from stream.send(Bye())
+            conn.close()
+
+        server_proc = net.sim.spawn(server(), name="server")
+        net.sim.spawn(client(), name="client")
+        net.run()
+        assert server_proc.result == (Bye(), None)
+
+    def test_mid_frame_close_raises(self):
+        net, a, b = self._pair()
+
+        def server():
+            listener = b.tcp.listen(7000)
+            conn = yield listener.accept()
+            stream = MessageStream(conn)
+            try:
+                yield from stream.recv()
+            except FramingError as exc:
+                return str(exc)
+            return "no error"
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 7000)
+            # A frame header promising 100 bytes, then close early.
+            yield from conn.send((100).to_bytes(4, "big") + b"short")
+            conn.close()
+
+        server_proc = net.sim.spawn(server(), name="server")
+        net.sim.spawn(client(), name="client")
+        net.run()
+        assert "mid-frame" in server_proc.result
+
+    def test_oversized_frame_rejected(self):
+        net, a, b = self._pair()
+
+        def server():
+            listener = b.tcp.listen(7000)
+            conn = yield listener.accept()
+            stream = MessageStream(conn)
+            try:
+                yield from stream.recv()
+            except FramingError as exc:
+                return str(exc)
+            return "no error"
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 7000)
+            yield from conn.send((2**30).to_bytes(4, "big"))
+            yield 1.0
+            conn.close()
+
+        server_proc = net.sim.spawn(server(), name="server")
+        net.sim.spawn(client(), name="client")
+        net.run()
+        assert "exceeds limit" in server_proc.result

@@ -1,0 +1,173 @@
+"""End-to-end rendezvous tests: the full Figure 1 authorization flow."""
+
+import pytest
+
+from repro.core.testbed import Testbed
+from repro.controller.session import Experimenter
+from repro.crypto.keys import KeyPair
+from repro.experiments.ping import ping
+from repro.rendezvous.descriptor import ExperimentDescriptor
+from repro.util.byteio import DecodeError
+
+
+class TestDescriptor:
+    def test_round_trip(self):
+        descriptor = ExperimentDescriptor(
+            name="bw-study",
+            controller_addr=0x0A000001,
+            controller_port=7000,
+            url="https://lab.example.edu/bw",
+            experimenter_key_id=b"\x42" * 32,
+        )
+        decoded = ExperimentDescriptor.decode(descriptor.encode())
+        assert decoded == descriptor
+        assert decoded.hash() == descriptor.hash()
+
+    def test_hash_changes_with_content(self):
+        base = ExperimentDescriptor("a", 1, 2, "u", b"\x01" * 32)
+        other = ExperimentDescriptor("b", 1, 2, "u", b"\x01" * 32)
+        assert base.hash() != other.hash()
+
+    def test_decode_garbage_rejected(self):
+        with pytest.raises(DecodeError):
+            ExperimentDescriptor.decode(b"\x00\x01junk")
+
+
+class TestFigure1Flow:
+    """The complete ➊..➑ authorization walk from the paper's Figure 1."""
+
+    def test_full_flow_runs_experiment(self):
+        testbed = Testbed()
+        rdz = testbed.start_rendezvous()
+        # Endpoint subscribes to channels = its trusted keys (➑ side).
+        testbed.endpoint.start_rendezvous(
+            testbed.controller_host.primary_address(), rdz.port
+        )
+        server, descriptor = testbed.make_controller("fig1-ping")
+
+        def run():
+            # ➎ publish (the experimenter already holds ➊ publish grant
+            # and ➌ endpoint delegation from Testbed setup).
+            ok, reason = yield from testbed.experimenter.publish(
+                testbed.controller_host,
+                testbed.controller_host.primary_address(),
+                rdz.port,
+                descriptor,
+            )
+            assert ok, reason
+            # ➏..➑: rendezvous broadcasts, endpoint connects, controller
+            # presents the chain, endpoint verifies and grants a session.
+            handle = yield server.wait_endpoint()
+            result = yield from ping(handle, testbed.target_address, count=2)
+            handle.bye()
+            return result
+
+        result = testbed.sim.run_process(run(), timeout=120.0)
+        assert result.received == 2
+        assert rdz.publications_accepted == 1
+        assert rdz.experiments_delivered >= 1
+
+    def test_unauthorized_publisher_rejected(self):
+        testbed = Testbed()
+        rdz = testbed.start_rendezvous()
+        stranger = Experimenter("stranger")
+        stranger.granted_publish_access(KeyPair.from_name("rogue-rdz-op"))
+        stranger.granted_endpoint_access(testbed.operator)
+        server, descriptor = testbed.make_controller(experimenter=stranger)
+
+        def run():
+            ok, reason = yield from stranger.publish(
+                testbed.controller_host,
+                testbed.controller_host.primary_address(),
+                rdz.port,
+                descriptor,
+            )
+            return ok, reason
+
+        ok, reason = testbed.sim.run_process(run(), timeout=60.0)
+        assert not ok
+        assert "not authorized" in reason
+        assert rdz.publications_rejected == 1
+
+    def test_endpoint_ignores_experiments_on_other_channels(self):
+        """An experiment whose delivery chains share no keys with the
+        endpoint's trusted set is never offered to it."""
+        testbed = Testbed()
+        rdz = testbed.start_rendezvous()
+        testbed.endpoint.start_rendezvous(
+            testbed.controller_host.primary_address(), rdz.port
+        )
+        # A different experimenter whose delegation comes from an operator
+        # the endpoint does NOT trust.
+        other = Experimenter("other-group")
+        other.granted_publish_access(testbed.rendezvous_operator)
+        other.granted_endpoint_access(KeyPair.from_name("foreign-operator"))
+        server, descriptor = testbed.make_controller(experimenter=other)
+
+        def run():
+            ok, reason = yield from other.publish(
+                testbed.controller_host,
+                testbed.controller_host.primary_address(),
+                rdz.port,
+                descriptor,
+            )
+            assert ok, reason
+            yield 10.0
+            return None
+
+        testbed.sim.run_process(run(), timeout=60.0)
+        # Delivered to nobody: the endpoint's channel never matched.
+        assert rdz.experiments_delivered == 0
+        assert len(testbed.endpoint.sessions) == 0
+
+    def test_late_subscriber_receives_stored_experiments(self):
+        """Experiments published before an endpoint subscribes are
+        replayed on subscription."""
+        testbed = Testbed()
+        rdz = testbed.start_rendezvous()
+        server, descriptor = testbed.make_controller("early-publish")
+
+        def run():
+            ok, reason = yield from testbed.experimenter.publish(
+                testbed.controller_host,
+                testbed.controller_host.primary_address(),
+                rdz.port,
+                descriptor,
+            )
+            assert ok, reason
+            yield 2.0
+            # Endpoint comes online only now.
+            testbed.endpoint.start_rendezvous(
+                testbed.controller_host.primary_address(), rdz.port
+            )
+            handle = yield server.wait_endpoint()
+            ticks = yield from handle.read_clock()
+            handle.bye()
+            return ticks
+
+        ticks = testbed.sim.run_process(run(), timeout=60.0)
+        assert ticks > 0
+
+    def test_duplicate_descriptor_contacted_once(self):
+        testbed = Testbed()
+        rdz = testbed.start_rendezvous()
+        testbed.endpoint.start_rendezvous(
+            testbed.controller_host.primary_address(), rdz.port
+        )
+        server, descriptor = testbed.make_controller("dup")
+
+        def run():
+            for _ in range(2):
+                ok, _reason = yield from testbed.experimenter.publish(
+                    testbed.controller_host,
+                    testbed.controller_host.primary_address(),
+                    rdz.port,
+                    descriptor,
+                )
+                assert ok
+            yield 10.0
+            return None
+
+        testbed.sim.run_process(run(), timeout=60.0)
+        # Both broadcasts happened, but the endpoint deduplicated.
+        assert len(testbed.endpoint._seen_descriptors) == 1

@@ -1,0 +1,219 @@
+"""Robustness and failure-injection tests across the stack."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.testbed import Testbed
+from repro.netsim.topology import Network
+from repro.rendezvous.server import RendezvousServer
+
+
+class TestTcpUnderLoss:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        loss=st.floats(min_value=0.0, max_value=0.25),
+    )
+    def test_bulk_transfer_integrity_any_loss(self, seed, loss):
+        """Whatever the loss pattern, TCP delivers the bytes intact.
+
+        This property caught a real protocol bug during development: after
+        a go-back-N rewind, ACKs above snd_nxt were discarded and the
+        connection starved (see DESIGN.md, finding 5)."""
+        net = Network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.link(a, b, loss_rate=loss, seed=seed, bandwidth_bps=20e6,
+                 delay=0.005)
+        net.compute_routes()
+        payload = bytes(range(256)) * 100  # 25.6 kB
+
+        def server():
+            listener = b.tcp.listen(80)
+            conn = yield listener.accept()
+            return (yield from conn.recv_exactly(len(payload)))
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            yield from conn.send(payload)
+            conn.close()
+
+        server_proc = net.sim.spawn(server(), name="server")
+        net.sim.spawn(client(), name="client")
+        net.run(until=1200.0)
+        assert server_proc.result == payload
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_bidirectional_transfer_under_loss(self, seed):
+        net = Network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.link(a, b, loss_rate=0.05, seed=seed, bandwidth_bps=20e6,
+                 delay=0.005)
+        net.compute_routes()
+        up = b"U" * 9000
+        down = b"D" * 9000
+
+        def server():
+            listener = b.tcp.listen(80)
+            conn = yield listener.accept()
+            received = yield from conn.recv_exactly(len(up))
+            yield from conn.send(down)
+            conn.close()
+            return received
+
+        def client():
+            conn = yield from a.tcp.open_connection(b.primary_address(), 80)
+            yield from conn.send(up)
+            received = yield from conn.recv_exactly(len(down))
+            return received
+
+        server_proc = net.sim.spawn(server(), name="server")
+        client_proc = net.sim.spawn(client(), name="client")
+        net.run(until=600.0)
+        assert server_proc.result == up
+        assert client_proc.result == down
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_results(self):
+        """The whole stack is deterministic: two runs, same numbers."""
+
+        def one_run():
+            from repro.experiments.ping import ping
+
+            testbed = Testbed(endpoint_clock_offset=3.3)
+
+            def experiment(handle):
+                return (yield from ping(handle, testbed.target_address,
+                                        count=3))
+
+            result = testbed.run_experiment(experiment)
+            return [probe.rtt for probe in result.probes]
+
+        assert one_run() == one_run()
+
+
+class TestSessionFailures:
+    def test_controller_disconnect_mid_session_cleans_up(self):
+        """If the controller vanishes, the endpoint tears the session
+        down and releases control."""
+        testbed = Testbed()
+        server, descriptor = testbed.make_controller()
+        testbed.connect_endpoint(descriptor)
+
+        def controller_side():
+            handle = yield server.wait_endpoint()
+            yield from handle.nopen_udp(0, locport=1234)
+            # Vanish without Bye: abort the transport.
+            handle.stream.conn.abort()
+            yield 5.0
+            return None
+
+        testbed.sim.run_process(controller_side(), timeout=120.0)
+        testbed.run(until=60.0)
+        assert testbed.endpoint.sessions == {}
+        assert testbed.endpoint.contention.active is None
+
+    def test_endpoint_sockets_closed_after_bye(self):
+        testbed = Testbed()
+
+        def experiment(handle):
+            yield from handle.nopen_udp(0, locport=7777)
+            yield from handle.nopen_raw(1)
+            return None
+
+        testbed.run_experiment(experiment)
+        testbed.run(until=60.0)
+        # Ports released: rebinding works, and no raw taps remain.
+        testbed.endpoint_host.udp.bind(7777)
+        assert testbed.endpoint_host.ip._taps == []
+
+    def test_garbage_on_controller_port_ignored(self):
+        """A non-PacketLab client connecting to the controller port does
+        not break experiment acceptance."""
+        testbed = Testbed()
+        server, descriptor = testbed.make_controller()
+
+        def scanner():
+            conn = yield from testbed.target_host.tcp.open_connection(
+                descriptor.controller_addr, descriptor.controller_port
+            )
+            yield from conn.send(b"\x00\x00\x00\x04GET ")
+            yield 1.0
+            conn.close()
+
+        testbed.sim.spawn(scanner(), name="scanner")
+        testbed.connect_endpoint(descriptor)
+
+        def experiment_driver():
+            handle = yield server.wait_endpoint()
+            ticks = yield from handle.read_clock()
+            handle.bye()
+            return ticks
+
+        ticks = testbed.sim.run_process(experiment_driver(), timeout=120.0)
+        assert ticks > 0
+
+    def test_unauthenticated_client_times_out_at_endpoint(self):
+        """An endpoint that connects to a silent controller gives up after
+        auth_timeout instead of hanging forever."""
+        testbed = Testbed()
+        # A listener that accepts but never sends Auth.
+        silent_port = 7999
+
+        def silent_controller():
+            listener = testbed.controller_host.tcp.listen(silent_port)
+            conn = yield listener.accept()
+            yield 60.0
+            conn.close()
+
+        testbed.sim.spawn(silent_controller(), name="silent")
+        proc = testbed.endpoint.connect_to_controller(
+            testbed.controller_host.primary_address(), silent_port
+        )
+        testbed.run(until=testbed.endpoint_config.auth_timeout + 10.0)
+        assert not proc.alive
+        assert proc.result is None
+        assert testbed.endpoint.sessions == {}
+
+
+class TestMultiRendezvous:
+    def test_endpoint_subscribes_to_multiple_servers(self):
+        """§3.2: 'two or three rendezvous servers can be maintained by
+        the measurement community' — an endpoint subscribes to all and
+        deduplicates experiments seen on several."""
+        testbed = Testbed()
+        rdz_a = testbed.start_rendezvous(port=7100)
+        rdz_b = RendezvousServer(
+            testbed.target_host, 7101,
+            trusted_publisher_key_ids=[testbed.rendezvous_operator.key_id],
+        ).start()
+        controller_addr = testbed.controller_host.primary_address()
+        testbed.endpoint.start_rendezvous(controller_addr, 7100)
+        testbed.endpoint.start_rendezvous(
+            testbed.target_host.primary_address(), 7101
+        )
+        server, descriptor = testbed.make_controller("multi-rdz")
+
+        def run():
+            # Publish the same experiment to both servers.
+            for addr, port in ((controller_addr, 7100),
+                               (testbed.target_host.primary_address(), 7101)):
+                ok, reason = yield from testbed.experimenter.publish(
+                    testbed.controller_host, addr, port, descriptor
+                )
+                assert ok, reason
+            handle = yield server.wait_endpoint()
+            ticks = yield from handle.read_clock()
+            handle.bye()
+            yield 5.0
+            return ticks
+
+        ticks = testbed.sim.run_process(run(), timeout=120.0)
+        assert ticks > 0
+        # Seen via both servers, contacted once.
+        assert len(testbed.endpoint._seen_descriptors) == 1
+        assert len(testbed.endpoint.sessions) == 0
+        assert rdz_a.experiments_delivered + rdz_b.experiments_delivered == 2

@@ -1,0 +1,135 @@
+"""Tests for the util layer: binary I/O and IPv4 address helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.byteio import ByteReader, ByteWriter, DecodeError
+from repro.util.inet import (
+    format_ip,
+    ip_in_network,
+    network_of,
+    parse_ip,
+    prefix_mask,
+)
+
+
+class TestByteWriterReader:
+    def test_scalar_round_trips(self):
+        writer = ByteWriter()
+        writer.u8(0xAB).u16(0xCDEF).u32(0xDEADBEEF).u64(2**63)
+        writer.i64(-12345).f64(3.25)
+        reader = ByteReader(writer.getvalue())
+        assert reader.u8() == 0xAB
+        assert reader.u16() == 0xCDEF
+        assert reader.u32() == 0xDEADBEEF
+        assert reader.u64() == 2**63
+        assert reader.i64() == -12345
+        assert reader.f64() == 3.25
+        reader.expect_end()
+
+    def test_length_prefixed_round_trips(self):
+        writer = ByteWriter()
+        writer.bytes_u16(b"short").bytes_u32(b"longer payload").str_u16("héllo")
+        reader = ByteReader(writer.getvalue())
+        assert reader.bytes_u16() == b"short"
+        assert reader.bytes_u32() == b"longer payload"
+        assert reader.str_u16() == "héllo"
+
+    def test_out_of_range_values_rejected(self):
+        writer = ByteWriter()
+        with pytest.raises(ValueError):
+            writer.u8(256)
+        with pytest.raises(ValueError):
+            writer.u16(-1)
+        with pytest.raises(ValueError):
+            writer.i64(2**63)
+
+    def test_underrun_raises_decode_error(self):
+        reader = ByteReader(b"\x01\x02")
+        with pytest.raises(DecodeError, match="underrun"):
+            reader.u32()
+
+    def test_trailing_bytes_detected(self):
+        reader = ByteReader(b"\x01\x02")
+        reader.u8()
+        with pytest.raises(DecodeError, match="trailing"):
+            reader.expect_end()
+
+    def test_rest_and_remaining(self):
+        reader = ByteReader(b"abcdef")
+        reader.raw(2)
+        assert reader.remaining() == 4
+        assert reader.rest() == b"cdef"
+        assert reader.at_end()
+
+    def test_writer_len_tracks_bytes(self):
+        writer = ByteWriter()
+        writer.u32(1).bytes_u16(b"xy")
+        assert len(writer) == 4 + 2 + 2
+
+    def test_invalid_utf8_string(self):
+        writer = ByteWriter()
+        writer.bytes_u16(b"\xff\xfe")
+        with pytest.raises(DecodeError, match="UTF-8"):
+            ByteReader(writer.getvalue()).str_u16()
+
+    @given(value=st.integers(-(2**63), 2**63 - 1))
+    def test_i64_round_trip_property(self, value):
+        data = ByteWriter().i64(value).getvalue()
+        assert ByteReader(data).i64() == value
+
+    @given(chunks=st.lists(st.binary(max_size=50), max_size=10))
+    def test_bytes_sequence_property(self, chunks):
+        writer = ByteWriter()
+        for chunk in chunks:
+            writer.bytes_u16(chunk)
+        reader = ByteReader(writer.getvalue())
+        assert [reader.bytes_u16() for _ in chunks] == chunks
+        reader.expect_end()
+
+
+class TestInet:
+    def test_parse_and_format(self):
+        assert parse_ip("0.0.0.0") == 0
+        assert parse_ip("255.255.255.255") == 0xFFFFFFFF
+        assert parse_ip("10.1.2.3") == 0x0A010203
+        assert format_ip(0x0A010203) == "10.1.2.3"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "01.2.3.4",
+                "1..2.3"]
+    )
+    def test_invalid_addresses_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_ip(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ip(-1)
+        with pytest.raises(ValueError):
+            format_ip(2**32)
+
+    def test_prefix_masks(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(8) == 0xFF000000
+        assert prefix_mask(24) == 0xFFFFFF00
+        assert prefix_mask(32) == 0xFFFFFFFF
+        with pytest.raises(ValueError):
+            prefix_mask(33)
+
+    def test_network_membership(self):
+        net = parse_ip("192.168.1.0")
+        assert ip_in_network(parse_ip("192.168.1.77"), net, 24)
+        assert not ip_in_network(parse_ip("192.168.2.77"), net, 24)
+        assert ip_in_network(parse_ip("8.8.8.8"), 0, 0)  # default route
+
+    def test_network_of(self):
+        assert network_of(parse_ip("10.1.2.3"), 16) == parse_ip("10.1.0.0")
+
+    @given(addr=st.integers(0, 0xFFFFFFFF))
+    def test_parse_format_round_trip_property(self, addr):
+        assert parse_ip(format_ip(addr)) == addr
+
+    @given(addr=st.integers(0, 0xFFFFFFFF), prefix=st.integers(0, 32))
+    def test_address_in_own_network_property(self, addr, prefix):
+        assert ip_in_network(addr, addr, prefix)
