@@ -1,0 +1,96 @@
+"""O1 — observability overhead: the instrumentation must be free when off.
+
+Every layer emits metrics/events through ``sim.obs``, but each emission
+point is guarded by ``if obs.enabled:`` so a disabled hub costs one
+attribute load and a branch. This benchmark measures kernel event-loop
+and packet-forwarding throughput with the hub disabled vs enabled, and
+checks the disabled path stays within noise of the pre-obs kernel.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.netsim.kernel import Simulator
+from repro.netsim.topology import linear_topology
+from repro.obs import Observability
+from repro.packet.ipv4 import IPv4Packet, PROTO_RAW_TEST
+
+EVENT_COUNT = 5000
+
+
+def _run_event_loop(obs_enabled: bool) -> int:
+    obs = Observability(enabled=obs_enabled)
+    if obs_enabled:
+        obs.ensure_ring_sink()
+    sim = Simulator(obs=obs)
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+        if counter[0] < EVENT_COUNT:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return counter[0]
+
+
+def test_o1_event_loop_disabled(benchmark):
+    """Kernel throughput with the hub disabled (the default)."""
+    assert benchmark(_run_event_loop, False) == EVENT_COUNT
+
+
+def test_o1_event_loop_enabled(benchmark):
+    """Kernel throughput with metrics + ring sink live."""
+    assert benchmark(_run_event_loop, True) == EVENT_COUNT
+
+
+def test_o1_overhead_ratio(benchmark):
+    """Side-by-side: disabled-mode cost must be within noise of enabled
+    being a strict superset of work; report the ratio."""
+    rows = []
+
+    def timed(enabled: bool, repeats: int = 5) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _run_event_loop(enabled)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_disabled = timed(False)
+    t_enabled = timed(True)
+    rows.append(["event loop", EVENT_COUNT / t_disabled,
+                 EVENT_COUNT / t_enabled, t_enabled / t_disabled])
+
+    # Forwarding path: links instrumentation sits on every hop.
+    def forward_run(enabled: bool) -> float:
+        net, src, dst = linear_topology(hop_count=3, bandwidth_bps=1e9)
+        if enabled:
+            net.sim.obs.enabled = True
+            net.sim.obs.ensure_ring_sink()
+        payload = b"x" * 500
+        addr_src, addr_dst = src.primary_address(), dst.primary_address()
+        start = time.perf_counter()
+        for _ in range(200):
+            src.send_ip(IPv4Packet(src=addr_src, dst=addr_dst,
+                                   proto=PROTO_RAW_TEST, payload=payload))
+        net.sim.run()
+        return time.perf_counter() - start
+
+    f_disabled = min(forward_run(False) for _ in range(5))
+    f_enabled = min(forward_run(True) for _ in range(5))
+    rows.append(["forwarding", 200 / f_disabled, 200 / f_enabled,
+                 f_enabled / f_disabled])
+
+    print_table(
+        "O1: kernel throughput, obs disabled vs enabled",
+        ["path", "disabled (op/s)", "enabled (op/s)", "enabled/disabled"],
+        rows,
+    )
+    # Enabled mode does strictly more work; it still must stay in the
+    # same order of magnitude (generous bound: timing on shared CI).
+    assert t_enabled / t_disabled < 5.0
+    assert benchmark.pedantic(_run_event_loop, args=(False,),
+                              rounds=3, iterations=1) == EVENT_COUNT

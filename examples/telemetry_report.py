@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Telemetry: run an experiment with the observability layer on and
+render a per-layer metrics report from the JSONL export.
+
+Runs the §4 uplink-bandwidth experiment (plus a clock-sync pass) with
+``collect_telemetry=True``, which returns a
+:class:`~repro.obs.TelemetrySnapshot` alongside the experiment result.
+The snapshot is exported to JSONL — one record per metric and buffered
+event — then read back and formatted, demonstrating the full
+export/import round trip an operator dashboard would use.
+
+Run:  python examples/telemetry_report.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.controller.clocksync import estimate_clock
+from repro.core import Testbed
+from repro.experiments import measure_uplink_bandwidth, ping
+from repro.obs.report import format_report
+from repro.obs.sinks import read_jsonl
+
+
+def main() -> None:
+    testbed = Testbed(
+        uplink_bandwidth_bps=4e6,
+        endpoint_clock_offset=7.5,
+        endpoint_clock_skew=40e-6,
+    )
+
+    def experiment(handle):
+        estimate = yield from estimate_clock(
+            handle, testbed.controller_host.clock, probes=6
+        )
+        pings = yield from ping(handle, testbed.target_address, count=3)
+        bandwidth = yield from measure_uplink_bandwidth(
+            handle, testbed.controller_host, packet_count=40, sktid=2
+        )
+        return estimate, pings, bandwidth
+
+    (estimate, pings, bandwidth), snapshot = testbed.run_experiment(
+        experiment, "telemetry-demo", collect_telemetry=True
+    )
+
+    print(f"experiment result: {pings.received}/{pings.sent} pings, "
+          f"uplink {bandwidth.measured_bps / 1e6:.2f} Mbps, "
+          f"clock offset {estimate.offset:+.3f} s\n")
+
+    path = Path(tempfile.mkdtemp(prefix="repro-telemetry-")) / "telemetry.jsonl"
+    snapshot.export_jsonl(path)
+    records = read_jsonl(path)
+    print(f"exported {len(records)} JSONL records to {path}\n")
+    print(format_report(records, title="Telemetry report (from JSONL)"))
+
+
+if __name__ == "__main__":
+    main()

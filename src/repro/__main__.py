@@ -3,11 +3,78 @@
 Builds the default testbed and runs the paper's two §4 experiments plus a
 clock-sync pass, printing what a first-time user should see. The richer
 scenarios live in ``examples/``.
+
+Subcommands:
+
+- ``python -m repro`` — the demo run below.
+- ``python -m repro observability [--export PATH | JSONL_PATH]`` — run a
+  short instrumented experiment and print the per-layer telemetry
+  report; or format an existing JSONL export without running anything.
 """
 
 from __future__ import annotations
 
 import sys
+
+
+def observability_main(argv: list[str]) -> int:
+    """Run an instrumented experiment (or format an existing JSONL export)
+    and print the per-layer telemetry report."""
+    from repro.obs.report import format_report
+    from repro.obs.sinks import read_jsonl
+
+    export_path = None
+    jsonl_path = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--export":
+            if not args:
+                print("error: --export requires a path", file=sys.stderr)
+                return 2
+            export_path = args.pop(0)
+        elif arg in ("-h", "--help"):
+            print("usage: python -m repro observability "
+                  "[--export PATH | JSONL_PATH]")
+            return 0
+        else:
+            jsonl_path = arg
+
+    if jsonl_path is not None:
+        try:
+            records = read_jsonl(jsonl_path)
+        except OSError as exc:
+            print(f"error: cannot read {jsonl_path}: {exc}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"error: {jsonl_path} is not valid JSONL: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(format_report(records, title=f"Telemetry report ({jsonl_path})"))
+        return 0
+
+    from repro.controller.clocksync import estimate_clock
+    from repro.core import Testbed
+    from repro.experiments import ping
+
+    testbed = Testbed(endpoint_clock_offset=7.5)
+
+    def experiment(handle):
+        yield from estimate_clock(
+            handle, testbed.controller_host.clock, probes=4
+        )
+        yield from ping(handle, testbed.target_address, count=3)
+        return None
+
+    _, snapshot = testbed.run_experiment(
+        experiment, "observability-demo", collect_telemetry=True
+    )
+    if export_path:
+        snapshot.export_jsonl(export_path)
+        print(f"exported {len(snapshot.to_jsonl_lines())} records "
+              f"to {export_path}\n")
+    print(format_report(snapshot, title="Telemetry report (demo experiment)"))
+    return 0
 
 
 def main() -> int:
@@ -59,4 +126,6 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "observability":
+        sys.exit(observability_main(sys.argv[2:]))
     sys.exit(main())

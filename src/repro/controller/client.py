@@ -96,6 +96,7 @@ class EndpointHandle:
 
         self._next_reqid = 1
         self._pending: dict[int, Event] = {}
+        self._obs = node.sim.obs
         self._outbox: Queue = node.sim.queue(name="ctl-outbox")
         self.closed = False
         self.interrupted = False
@@ -158,12 +159,20 @@ class EndpointHandle:
         """Send a command and wait for its matched response."""
         if self.closed:
             raise SessionClosed("endpoint session is closed")
+        obs = self._obs
+        started = self.sim.now if obs.enabled else 0.0
         waiter = self.sim.event(name=f"req-{reqid}")
         self._pending[reqid] = waiter
         self._outbox.put(message)
         response = yield waiter
         if response is None:
             raise SessionClosed("endpoint session ended mid-command")
+        if obs.enabled:
+            obs.counter("controller.rpcs",
+                        op=type(message).__name__.lower()).inc()
+            obs.histogram("controller.rpc_rtt_s").observe(
+                self.sim.now - started
+            )
         return response
 
     def _reqid(self) -> int:
@@ -212,6 +221,8 @@ class EndpointHandle:
         Used when streaming many sends back-to-back (the Result for an
         unawaited reqid is discarded by the reader loop).
         """
+        if self._obs.enabled:
+            self._obs.counter("controller.rpcs_pipelined").inc()
         self._outbox.put(
             NSend(reqid=self._reqid(), sktid=sktid, time=time_ticks, data=data)
         )

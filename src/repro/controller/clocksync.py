@@ -98,6 +98,16 @@ def estimate_clock(
         skew = cov / var_x - 1.0
     else:
         skew = 0.0
+    obs = handle.sim.obs
+    if obs.enabled:
+        obs.counter("controller.clock_syncs").inc()
+        obs.gauge("controller.clock_offset_s").set(best.offset)
+        obs.gauge("controller.clock_skew_ppm").set(skew * 1e6)
+        obs.emit(
+            "controller", "clock-estimate", endpoint=handle.endpoint_name,
+            offset=best.offset, skew_ppm=skew * 1e6, rtt_min=best.rtt,
+            probes=len(samples),
+        )
     return ClockEstimate(
         offset=best.offset,
         skew=skew,

@@ -28,6 +28,7 @@ from repro.endpoint.endpoint import Endpoint
 from repro.netsim.kernel import SimError
 from repro.netsim.node import Node
 from repro.netsim.topology import Network, access_topology
+from repro.obs import TelemetrySnapshot
 from repro.rendezvous.descriptor import ExperimentDescriptor
 from repro.rendezvous.server import RendezvousServer
 
@@ -145,6 +146,21 @@ class Testbed:
 
     # -- experiment driving ----------------------------------------------------
 
+    def enable_telemetry(self, ring_capacity: Optional[int] = None):
+        """Switch on the observability layer for this testbed's simulator.
+
+        Returns the in-memory ring sink that will collect structured
+        events. Idempotent; ``run_experiment(collect_telemetry=True)``
+        calls this automatically.
+        """
+        obs = self.sim.obs
+        obs.enabled = True
+        return obs.ensure_ring_sink(ring_capacity)
+
+    def telemetry_snapshot(self) -> TelemetrySnapshot:
+        """Bundle the current metrics + buffered events for export."""
+        return self.sim.obs.telemetry_snapshot()
+
     def run_experiment(
         self,
         experiment: Callable[[EndpointHandle], Generator],
@@ -153,6 +169,7 @@ class Testbed:
         experiment_restrictions: Optional[Restrictions] = None,
         timeout: float = 600.0,
         send_bye: bool = True,
+        collect_telemetry: bool = False,
     ):
         """Run one experiment function against the testbed endpoint.
 
@@ -160,7 +177,19 @@ class Testbed:
         :class:`EndpointHandle`; its return value is returned here. The
         controller is started, the endpoint connects, the experiment runs,
         and the session is closed.
+
+        With ``collect_telemetry=True`` the observability layer is enabled
+        for the run and a ``(result, TelemetrySnapshot)`` pair is returned;
+        the snapshot carries every layer's metrics plus the buffered event
+        stream, ready for ``export_jsonl``.
         """
+        if collect_telemetry:
+            self.enable_telemetry()
+        obs = self.sim.obs
+        span = (
+            obs.span("core", "experiment", experiment=experiment_name)
+            if obs.enabled else None
+        )
         server, descriptor = self.make_controller(
             experiment_name,
             priority=priority,
@@ -177,10 +206,16 @@ class Testbed:
                     handle.bye()
             return result
 
-        result = self.sim.run_process(
-            driver(), name=f"experiment-{experiment_name}", timeout=timeout
-        )
-        server.stop()
+        try:
+            result = self.sim.run_process(
+                driver(), name=f"experiment-{experiment_name}", timeout=timeout
+            )
+        finally:
+            if span is not None:
+                span.end()
+            server.stop()
+        if collect_telemetry:
+            return result, self.telemetry_snapshot()
         return result
 
     def run(self, until: Optional[float] = None) -> None:

@@ -26,6 +26,7 @@ class CaptureBuffer:
 
     def __init__(self, sim: Simulator, capacity: int) -> None:
         self._sim = sim
+        self._obs = sim.obs
         self.capacity = capacity
         self.used = 0
         self._records: list[CaptureRecord] = []
@@ -48,13 +49,22 @@ class CaptureBuffer:
     def push(self, record: CaptureRecord) -> bool:
         """Append a record; returns False (and counts the drop) if full."""
         size = len(record.data) + RECORD_OVERHEAD
+        obs = self._obs
         if self.used + size > self.capacity:
             self.dropped_packets += 1
             self.dropped_bytes += len(record.data)
+            if obs.enabled:
+                obs.counter("endpoint.capture_dropped").inc()
             return False
         self._records.append(record)
         self.used += size
         self.total_captured += 1
+        if obs.enabled:
+            obs.counter("endpoint.captured").inc()
+            # Occupancy as a fraction so buffers of any size compare.
+            obs.gauge("endpoint.capture_occupancy").set(
+                self.used / self.capacity if self.capacity else 1.0
+            )
         waiters, self._data_waiters = self._data_waiters, []
         for event in waiters:
             event.fire(None)
@@ -65,6 +75,8 @@ class CaptureBuffer:
         UDP datagram discarded because the buffer had no room)."""
         self.dropped_packets += 1
         self.dropped_bytes += byte_count
+        if self._obs.enabled:
+            self._obs.counter("endpoint.capture_dropped").inc()
 
     def drain(self) -> tuple[tuple[CaptureRecord, ...], int, int]:
         """Remove and return all records plus the drop counters.
@@ -75,6 +87,8 @@ class CaptureBuffer:
         records = tuple(self._records)
         self._records.clear()
         self.used = 0
+        if self._obs.enabled:
+            self._obs.gauge("endpoint.capture_occupancy").set(0.0)
         dropped_packets, self.dropped_packets = self.dropped_packets, 0
         dropped_bytes, self.dropped_bytes = self.dropped_bytes, 0
         waiters, self._space_waiters = self._space_waiters, []

@@ -11,7 +11,10 @@ completes or its controller suspends it by yielding control."
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 
 class ControlledSession(Protocol):
@@ -27,11 +30,21 @@ class ControlledSession(Protocol):
 class ContentionManager:
     """Grants exclusive control of the endpoint to one session at a time."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional["Observability"] = None) -> None:
         self.active: Optional[ControlledSession] = None
         self.suspended: list[ControlledSession] = []
         self.preemptions = 0
         self.resumptions = 0
+        self._obs = obs
+
+    def _note(self, event: str, session: ControlledSession,
+              counter: Optional[str] = None) -> None:
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            if counter is not None:
+                obs.counter(counter).inc()
+            obs.emit("endpoint", event, session=session.name,
+                     priority=session.priority)
 
     def request_control(self, session: ControlledSession) -> bool:
         """Register a session; returns True if it becomes active now.
@@ -41,15 +54,18 @@ class ContentionManager:
         """
         if self.active is None:
             self.active = session
+            self._note("control-granted", session)
             return True
         if session.priority > self.active.priority:
             preempted = self.active
             self.suspended.append(preempted)
             self.active = session
             self.preemptions += 1
+            self._note("preemption", preempted, "endpoint.preemptions")
             preempted.on_suspend(session.priority)
             return True
         self.suspended.append(session)
+        self._note("control-denied", session)
         session.on_suspend(self.active.priority)
         return False
 
@@ -75,6 +91,7 @@ class ContentionManager:
         if not self.suspended:
             return
         self.active = None
+        self._note("yield", session, "endpoint.yields")
         session.on_suspend(0)
         self._promote_next()
         self.suspended.append(session)
@@ -90,4 +107,5 @@ class ContentionManager:
         session = self.suspended.pop(best_index)
         self.active = session
         self.resumptions += 1
+        self._note("resumption", session, "endpoint.resumptions")
         session.on_resume()

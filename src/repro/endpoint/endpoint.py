@@ -92,6 +92,7 @@ class Session:
         self.priority = authorized.priority
         self.name = f"{endpoint.config.name}-session{session_id}"
         sim = endpoint.node.sim
+        self._obs = sim.obs
 
         limit = endpoint.config.capture_buffer_bytes
         cert_limit = authorized.chain_result.restrictions.buffer_limit
@@ -105,7 +106,8 @@ class Session:
         for program_bytes in authorized.chain_result.monitors:
             program = FilterProgram.decode(program_bytes)
             vm = FilterVM(program, info=info_view,
-                          fuel_limit=endpoint.config.monitor_fuel)
+                          fuel_limit=endpoint.config.monitor_fuel,
+                          obs=self._obs)
             vm.run_init()
             self.monitors.append(vm)
 
@@ -140,6 +142,11 @@ class Session:
             if monitor.has_entry("send"):
                 if monitor.invoke("send", packet=packet_bytes,
                                   args=(0, len(packet_bytes))) == 0:
+                    obs = self._obs
+                    if obs.enabled:
+                        obs.counter("endpoint.monitor_send_denied").inc()
+                        obs.emit("endpoint", "monitor-deny",
+                                 session=self.name, direction="send")
                     return False
         return True
 
@@ -149,6 +156,9 @@ class Session:
             if monitor.has_entry("recv"):
                 if monitor.invoke("recv", packet=packet_bytes,
                                   args=(0, len(packet_bytes))) == 0:
+                    obs = self._obs
+                    if obs.enabled:
+                        obs.counter("endpoint.monitor_recv_denied").inc()
                     return False
         return True
 
@@ -209,6 +219,10 @@ class Session:
                 while self.suspended and not isinstance(message, Bye):
                     yield self._resume_event
                 self.commands_processed += 1
+                if self._obs.enabled:
+                    self._obs.counter(
+                        "endpoint.ops", op=type(message).__name__.lower()
+                    ).inc()
                 if isinstance(message, Bye):
                     self.send_message(SessionEnd(reason="bye"))
                     break
@@ -385,6 +399,9 @@ class Session:
         if self.ended:
             return
         self.ended = True
+        if self._obs.enabled:
+            self._obs.emit("endpoint", "session-end", session=self.name,
+                           commands=self.commands_processed)
         for socket in self.sockets.values():
             socket.close()
         self.sockets.clear()
@@ -404,7 +421,7 @@ class Endpoint:
         self.memory = EndpointMemory(self)
         self.memory.set_caps(self.config.caps())
         self.memory.set_addresses(ip=node.primary_address())
-        self.contention = ContentionManager()
+        self.contention = ContentionManager(obs=node.sim.obs)
         self.sessions: dict[int, Session] = {}
         self._next_session_id = 1
         self._seen_descriptors: set[bytes] = set()
@@ -502,12 +519,20 @@ class Endpoint:
             authorized = verify_auth(auth, self.config.trusted_key_ids, sim.now)
         except AuthError as exc:
             self.auth_failures += 1
+            if sim.obs.enabled:
+                sim.obs.counter("endpoint.auth_failures").inc()
+                sim.obs.emit("endpoint", "auth-fail",
+                             endpoint=self.config.name, reason=str(exc))
             yield from stream.send(AuthFail(reason=str(exc)))
             conn.close()
             return None
         session = Session(self, stream, authorized, self._next_session_id)
         self._next_session_id += 1
         self.sessions[session.session_id] = session
+        if sim.obs.enabled:
+            sim.obs.counter("endpoint.sessions_accepted").inc()
+            sim.obs.emit("endpoint", "session-start", session=session.name,
+                         priority=session.priority)
         yield from stream.send(
             AuthOk(session_id=session.session_id,
                    buffer_limit=session.buffer.capacity)

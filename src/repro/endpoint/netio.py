@@ -105,7 +105,8 @@ class RawEndpointSocket(EndpointSocket):
     def install_filter(self, program: FilterProgram, until_ticks: int) -> None:
         """ncap: install a capture filter active until the given local
         time. The filter's persistent globals live as long as the filter."""
-        self._filter = FilterVM(program, info=self._info_view)
+        self._filter = FilterVM(program, info=self._info_view,
+                                obs=self.node.sim.obs)
         self._filter.run_init()
         self._cap_until_ticks = until_ticks
 

@@ -39,6 +39,7 @@ class SendQueue:
 
     def __init__(self, sim: Simulator, clock: HostClock) -> None:
         self._sim = sim
+        self._obs = sim.obs
         self._clock = clock
         self._pending: list[ScheduledSend] = []
         self.sends_completed = 0
@@ -76,11 +77,22 @@ class SendQueue:
                 self._pending.remove(entry)
             except ValueError:
                 pass
+            obs = self._obs
+            if obs.enabled:
+                # How late the send fired relative to its requested time
+                # (past-due requests fire immediately, so their whole
+                # overdue interval shows up here).
+                lag = max(0.0, self._sim.now - due_sim)
+                obs.histogram("endpoint.sendqueue_lag_s").observe(lag)
             if on_fire(entry):
                 self.sends_completed += 1
                 entry.socket.note_send(entry.actual_ticks)
+                if obs.enabled:
+                    obs.counter("endpoint.sends_completed").inc()
             else:
                 self.sends_failed += 1
+                if obs.enabled:
+                    obs.counter("endpoint.sends_failed").inc()
 
         entry.timer = self._sim.schedule(delay, fire)
         return entry

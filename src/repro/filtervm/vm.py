@@ -7,10 +7,13 @@ overflow — aborts with verdict 0 (deny). Monitors therefore fail closed.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.filtervm.isa import MASK64, Op, to_signed, to_unsigned
 from repro.filtervm.program import FilterProgram, ProgramError
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 DEFAULT_FUEL = 10_000
 MAX_CALL_DEPTH = 32
@@ -59,6 +62,7 @@ class FilterVM:
         program: FilterProgram,
         info: Optional[InfoSource] = None,
         fuel_limit: int = DEFAULT_FUEL,
+        obs: Optional["Observability"] = None,
     ) -> None:
         program.verify()
         self.program = program
@@ -67,7 +71,9 @@ class FilterVM:
         self.globals = bytearray(program.globals_size)
         self.invocations = 0
         self.faults = 0
+        self.instructions_executed = 0
         self.last_fault: Optional[str] = None
+        self._obs = obs
 
     def has_entry(self, name: str) -> bool:
         return self.program.function_named(name) is not None
@@ -93,16 +99,31 @@ class FilterVM:
                 f"entry {entry!r} takes {function.n_args} args, got {len(args)}"
             )
         self.invocations += 1
+        budget = fuel or self.fuel_limit
+        obs = self._obs
         try:
-            return self._execute(function, packet, args, fuel or self.fuel_limit)
+            verdict, fuel_left = self._execute(function, packet, args, budget)
         except VmFault as fault:
             self.faults += 1
             self.last_fault = str(fault)
+            if obs is not None and obs.enabled:
+                obs.counter("filtervm.invocations").inc()
+                obs.counter("filtervm.faults").inc()
+                obs.counter("filtervm.deny").inc()
             return 0
+        self.instructions_executed += budget - fuel_left
+        if obs is not None and obs.enabled:
+            obs.counter("filtervm.invocations").inc()
+            obs.counter("filtervm.instructions").inc(budget - fuel_left)
+            obs.counter("filtervm.allow" if verdict else "filtervm.deny").inc()
+        return verdict
 
     # -- interpreter core ----------------------------------------------------
 
-    def _execute(self, function, packet: bytes, args: tuple[int, ...], fuel: int) -> int:
+    def _execute(
+        self, function, packet: bytes, args: tuple[int, ...], fuel: int
+    ) -> tuple[int, int]:
+        """Run to completion; returns ``(verdict, fuel_remaining)``."""
         code = self.program.code
         functions = self.program.functions
         stack: list[int] = []
@@ -184,7 +205,7 @@ class FilterVM:
             elif op == Op.RET:
                 result = pop()
                 if not frames:
-                    return result
+                    return result, fuel
                 pc, locals_ = frames.pop()
                 push(result)
             elif op == Op.PKTLEN:

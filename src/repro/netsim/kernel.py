@@ -29,6 +29,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs import Observability
+
 ProcessGen = Generator[Any, Any, Any]
 
 
@@ -212,8 +214,11 @@ class Process:
         except BaseException as exc:  # noqa: BLE001 - delivered to joiners
             self.alive = False
             self.error = exc
+            sim = self._sim
+            if sim.obs.enabled:
+                sim.obs.counter("kernel.process_failures").inc()
             if not self._joined:
-                self._sim._record_orphan_error(self, exc)
+                sim._record_orphan_error(self, exc)
             self._completion.fire(_Result(None, exc))
             return
         self._wait_for(target)
@@ -251,12 +256,15 @@ class _Result:
 class Simulator:
     """The discrete-event scheduler."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Observability] = None) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Timer]] = []
         self._seq = 0
         self._orphan_errors: list[tuple[Process, BaseException]] = []
         self._running = False
+        # Per-simulator observability hub; disabled unless a caller opts in.
+        self.obs = obs if obs is not None else Observability()
+        self.obs.bind_clock(lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -295,6 +303,8 @@ class Simulator:
         """Start a new process from a generator; it runs from the next tick."""
         proc = Process(self, gen, name=name)
         self.schedule(0.0, proc._step, None)
+        if self.obs.enabled:
+            self.obs.counter("kernel.processes_spawned").inc()
         return proc
 
     def event(self, name: str = "") -> Event:
@@ -305,6 +315,11 @@ class Simulator:
 
     def _record_orphan_error(self, proc: Process, exc: BaseException) -> None:
         self._orphan_errors.append((proc, exc))
+        if self.obs.enabled:
+            self.obs.emit(
+                "kernel", "process-failed", process=proc.name,
+                error=type(exc).__name__,
+            )
 
     # -- execution --------------------------------------------------------
 
@@ -316,25 +331,46 @@ class Simulator:
         if self._running:
             raise SimError("re-entrant Simulator.run")
         self._running = True
+        # Hot loop: locals for the heap/ops, pop-then-maybe-push-back instead
+        # of peek+pop (one heap access per event), and the orphan check only
+        # when an error is actually pending. Telemetry accumulates in locals
+        # and is flushed once per run() call, so a disabled run pays nothing
+        # beyond the initial `enabled` read.
+        heap = self._heap
+        orphans = self._orphan_errors
+        heappop, heappush = heapq.heappop, heapq.heappush
+        enabled = self.obs.enabled
+        events = 0
+        max_depth = 0
         try:
-            events = 0
-            while self._heap:
-                time, _seq, timer = self._heap[0]
+            while heap:
+                entry = heappop(heap)
+                time = entry[0]
                 if until is not None and time > until:
+                    heappush(heap, entry)
                     break
-                heapq.heappop(self._heap)
+                timer = entry[2]
                 if timer.cancelled:
                     continue
                 self._now = time
                 timer._fire()
-                self._check_orphans()
+                if orphans:
+                    self._check_orphans()
                 events += 1
+                if enabled and len(heap) > max_depth:
+                    max_depth = len(heap)
                 if events >= max_events:
                     raise SimError(f"event budget exhausted ({max_events} events)")
             if until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
+            if enabled:
+                obs = self.obs
+                obs.counter("kernel.run_calls").inc()
+                if events:
+                    obs.counter("kernel.events").inc(events)
+                obs.gauge("kernel.heap_depth_max").set_max(max_depth)
 
     def run_process(self, gen: ProcessGen, name: str = "",
                     timeout: Optional[float] = None) -> Any:

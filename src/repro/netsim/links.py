@@ -35,6 +35,14 @@ LINK_OVERHEAD_BYTES = 14
 
 LinkObserver = Callable[[float, "LinkDirection", IPv4Packet, str], None]
 
+# Outcome string -> obs counter suffix (see repro.obs naming convention).
+_OUTCOME_METRIC = {
+    "sent": "tx",
+    "delivered": "delivered",
+    "drop-queue": "dropped_queue",
+    "drop-loss": "dropped_loss",
+}
+
 
 @dataclass
 class LinkStats:
@@ -77,11 +85,46 @@ class LinkDirection:
         self._busy_until = 0.0
         self.dst_iface: Optional["Interface"] = None
         self.stats = LinkStats()
-        self.observers: list[LinkObserver] = []
+        self._observers: list[LinkObserver] = []
+        self._obs = sim.obs
+
+    def add_observer(self, observer: LinkObserver) -> LinkObserver:
+        """Register a ground-truth observer for this direction.
+
+        The only sanctioned way to watch a direction (PacketTrace and the
+        obs layer both come through here); the observer list itself is
+        private.
+        """
+        self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: LinkObserver) -> None:
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    @property
+    def observed(self) -> bool:
+        return bool(self._observers)
 
     def _notify(self, packet: IPv4Packet, outcome: str) -> None:
-        for observer in self.observers:
+        # Slow path — entered only when observed or telemetry is enabled.
+        for observer in self._observers:
             observer(self._sim.now, self, packet, outcome)
+        obs = self._obs
+        if obs.enabled:
+            obs.counter(f"links.{_OUTCOME_METRIC[outcome]}", link=self.name).inc()
+            if outcome == "sent":
+                obs.counter("links.bytes_sent", link=self.name).inc(
+                    packet.total_length + LINK_OVERHEAD_BYTES
+                )
+            elif outcome in ("drop-queue", "drop-loss"):
+                obs.emit(
+                    "links", "drop", link=self.name, reason=outcome,
+                    proto=packet.proto, src=packet.src, dst=packet.dst,
+                    size=packet.total_length,
+                )
 
     def backlog_bytes(self) -> float:
         """Bytes currently queued for serialization (fluid approximation)."""
@@ -97,9 +140,11 @@ class LinkDirection:
         if self.dst_iface is None:
             raise RuntimeError(f"link direction {self.name} not attached")
         size = packet.total_length + LINK_OVERHEAD_BYTES
+        watched = self._observers or self._obs.enabled
         if self.backlog_bytes() + size > self.queue_bytes:
             self.stats.packets_dropped_queue += 1
-            self._notify(packet, "drop-queue")
+            if watched:
+                self._notify(packet, "drop-queue")
             return False
         now = self._sim.now
         tx_start = max(now, self._busy_until)
@@ -107,7 +152,8 @@ class LinkDirection:
         self._busy_until = tx_start + tx_time
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self.stats.packets_dropped_loss += 1
-            self._notify(packet, "drop-loss")
+            if watched:
+                self._notify(packet, "drop-loss")
             return True  # consumed link time, but lost in flight
         arrival = self._busy_until + self.delay
         if self.jitter > 0:
@@ -115,13 +161,15 @@ class LinkDirection:
             arrival += self._rng.uniform(0.0, self.jitter)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += size
-        self._notify(packet, "sent")
+        if watched:
+            self._notify(packet, "sent")
         self._sim.schedule_at(arrival, self._deliver, packet)
         return True
 
     def _deliver(self, packet: IPv4Packet) -> None:
         assert self.dst_iface is not None
-        self._notify(packet, "delivered")
+        if self._observers or self._obs.enabled:
+            self._notify(packet, "delivered")
         self.dst_iface.deliver(packet)
 
 
@@ -171,5 +219,9 @@ class Link:
         self.name = name
 
     def add_observer(self, observer: LinkObserver) -> None:
-        self.forward.observers.append(observer)
-        self.reverse.observers.append(observer)
+        self.forward.add_observer(observer)
+        self.reverse.add_observer(observer)
+
+    def remove_observer(self, observer: LinkObserver) -> None:
+        self.forward.remove_observer(observer)
+        self.reverse.remove_observer(observer)

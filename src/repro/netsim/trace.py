@@ -4,6 +4,14 @@ Tests and benchmarks attach a :class:`PacketTrace` to links to obtain the
 simulator's own record of what was transmitted — the ground truth against
 which PacketLab's measured results (bandwidth, paths, drop counts) are
 validated.
+
+Compatibility shim: :class:`PacketTrace` predates the unified
+observability layer (:mod:`repro.obs`) and is now a thin adapter — each
+link observation is forwarded onto the link's obs event bus as a
+``links.trace`` event *and* kept as a legacy :class:`TraceRecord` so the
+existing selection API (``select``/``delivered_bytes``/``throughput_bps``)
+keeps working. New code that only needs aggregate accounting should read
+the ``links.*`` metrics from ``sim.obs`` instead of attaching a trace.
 """
 
 from __future__ import annotations
@@ -34,13 +42,24 @@ class PacketTrace:
         return self
 
     def attach_direction(self, direction: LinkDirection) -> "PacketTrace":
-        direction.observers.append(self._observe)
+        direction.add_observer(self._observe)
+        return self
+
+    def detach_direction(self, direction: LinkDirection) -> "PacketTrace":
+        direction.remove_observer(self._observe)
         return self
 
     def _observe(
         self, time: float, direction: LinkDirection, packet: IPv4Packet, outcome: str
     ) -> None:
         self.records.append(TraceRecord(time, direction.name, packet, outcome))
+        obs = direction._sim.obs
+        if obs.enabled:
+            obs.emit(
+                "links", "trace", link=direction.name, outcome=outcome,
+                proto=packet.proto, src=packet.src, dst=packet.dst,
+                size=packet.total_length,
+            )
 
     def clear(self) -> None:
         self.records.clear()

@@ -1,0 +1,80 @@
+"""The structured event bus: typed events fanned out to pluggable sinks.
+
+Events are the discrete, narratable half of observability (a publish was
+rejected, a session was preempted, a packet was dropped at a queue);
+metrics (:mod:`repro.obs.metrics`) are the aggregate half. Both carry the
+owning simulator's *virtual* timestamp.
+
+An :class:`ObsEvent` is deliberately a dumb record — ``(time, layer, name,
+fields)`` — so sinks can serialize, filter, or count without knowing any
+layer's internals. Emission is cheap but not free; every call site guards
+with ``if obs.enabled:`` so a disabled run never constructs field dicts or
+formats strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+TimeFn = Callable[[], float]
+
+
+class ObsEvent:
+    """One structured event: virtual time, layer, name, and fields."""
+
+    __slots__ = ("time", "layer", "name", "fields")
+
+    def __init__(self, time: float, layer: str, name: str,
+                 fields: dict[str, Any]) -> None:
+        self.time = time
+        self.layer = layer
+        self.name = name
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        return f"ObsEvent({self.time:.6f}, {self.layer}.{self.name}, {self.fields})"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "event",
+            "time": self.time,
+            "layer": self.layer,
+            "name": self.name,
+            "fields": dict(self.fields),
+        }
+
+
+class Sink(Protocol):
+    """Anything that consumes events off the bus."""
+
+    def record(self, event: ObsEvent) -> None: ...
+
+
+class EventBus:
+    """Dispatches events to registered sinks; no buffering of its own."""
+
+    def __init__(self, time_fn: TimeFn) -> None:
+        self._time_fn = time_fn
+        self._sinks: list[Sink] = []
+        self.events_emitted = 0
+
+    def add_sink(self, sink: Sink) -> Sink:
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    @property
+    def sinks(self) -> tuple[Sink, ...]:
+        return tuple(self._sinks)
+
+    def emit(self, layer: str, name: str, **fields: Any) -> None:
+        event = ObsEvent(self._time_fn(), layer, name, fields)
+        self.events_emitted += 1
+        for sink in self._sinks:
+            sink.record(event)

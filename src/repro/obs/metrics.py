@@ -1,0 +1,266 @@
+"""Sim-time-aware metric primitives: counters, gauges, histograms.
+
+Metrics are timestamped with *virtual* time (the owning simulator's clock),
+so a rate computed from a counter is a rate in simulated seconds — the
+quantity the paper's measurements are actually about — not wall-clock
+noise from the host the reproduction happens to run on.
+
+Naming convention: ``<layer>.<metric>`` (``kernel.events``,
+``links.delivered``, ``endpoint.capture_used``). The layer prefix is how
+:meth:`MetricsRegistry.layers` groups a snapshot for reporting, and how the
+acceptance checks verify that every subsystem reports telemetry.
+
+Hot-path discipline: metric objects are plain attribute machines with
+``__slots__``; call sites cache the object once and guard updates behind
+``obs.enabled`` so a disabled run pays one attribute load and a branch.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Optional
+
+TimeFn = Callable[[], float]
+
+# Default histogram boundaries: log-spaced from 1 microsecond to ~100 s,
+# suitable for both latencies (seconds) and small magnitudes.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0
+)
+
+
+def _labels_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count with first/last update timestamps."""
+
+    __slots__ = ("name", "labels", "value", "first_time", "last_time", "_time_fn")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict[str, str], time_fn: TimeFn) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+        self._time_fn = time_fn
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+        now = self._time_fn()
+        if self.first_time is None:
+            self.first_time = now
+        self.last_time = now
+
+    def rate(self) -> float:
+        """Events per simulated second over the counter's active span."""
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        span = self.last_time - self.first_time
+        if span <= 0:
+            return 0.0
+        return self.value / span
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+            "first_time": self.first_time,
+            "last_time": self.last_time,
+        }
+
+
+class Gauge:
+    """Point-in-time value with min/max watermarks."""
+
+    __slots__ = ("name", "labels", "value", "min", "max", "last_time", "_time_fn")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict[str, str], time_fn: TimeFn) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.last_time: Optional[float] = None
+        self._time_fn = time_fn
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.last_time = self._time_fn()
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is a new high-water mark."""
+        if self.max is None or value > self.max:
+            self.set(value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "last_time": self.last_time,
+        }
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max."""
+
+    __slots__ = (
+        "name", "labels", "boundaries", "bucket_counts",
+        "count", "sum", "min", "max", "last_time", "_time_fn",
+    )
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str],
+        time_fn: TimeFn,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.boundaries = tuple(buckets)
+        # One count per boundary plus the overflow bucket.
+        self.bucket_counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.last_time: Optional[float] = None
+        self._time_fn = time_fn
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.bucket_counts[bisect_right(self.boundaries, value)] += 1
+        self.last_time = self._time_fn()
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket boundaries (upper bound)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= target:
+                if index < len(self.boundaries):
+                    return self.boundaries[index]
+                return self.max if self.max is not None else 0.0
+        return self.max if self.max is not None else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+            "buckets": {
+                str(boundary): count
+                for boundary, count in zip(self.boundaries, self.bucket_counts)
+            },
+            "overflow": self.bucket_counts[-1],
+            "last_time": self.last_time,
+        }
+
+
+class MetricsRegistry:
+    """Owns every metric of one simulator; hands out memoized instances."""
+
+    def __init__(self, time_fn: TimeFn) -> None:
+        self._time_fn = time_fn
+        self._metrics: dict[tuple, object] = {}
+
+    def _get(self, factory, kind: str, name: str, labels: dict[str, str], *args):
+        key = (kind, name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, labels, self._time_fn, *args)
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, "counter", name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, "gauge", name, labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get(Histogram, "histogram", name, labels, buckets)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def find(self, name: str, **labels: str):
+        """Look up an existing metric of any kind; None if absent."""
+        wanted = _labels_key(labels)
+        for (_, metric_name, metric_labels), metric in self._metrics.items():
+            if metric_name == name and (not labels or metric_labels == wanted):
+                return metric
+        return None
+
+    def total(self, name: str) -> float:
+        """Sum a counter's value across every label combination."""
+        total = 0.0
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter) and metric.name == name:
+                total += metric.value
+        return total
+
+    def layers(self) -> set[str]:
+        """Layer prefixes that have reported at least one non-zero value."""
+        active: set[str] = set()
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter) and metric.value == 0:
+                continue
+            if isinstance(metric, Histogram) and metric.count == 0:
+                continue
+            if isinstance(metric, Gauge) and metric.last_time is None:
+                continue
+            active.add(metric.name.split(".", 1)[0])
+        return active
+
+    def snapshot(self) -> list[dict]:
+        """Stable-ordered list of every metric as a plain dict."""
+        return [
+            metric.to_dict()
+            for _, metric in sorted(
+                self._metrics.items(), key=lambda item: (item[0][1], item[0][2])
+            )
+        ]

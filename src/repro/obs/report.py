@@ -1,0 +1,93 @@
+"""Human-readable rendering of telemetry snapshots and JSONL exports.
+
+Used by ``examples/telemetry_report.py`` and the ``python -m repro
+observability`` subcommand: turn a :class:`~repro.obs.TelemetrySnapshot`
+(or the dict records loaded back from its JSONL export) into a per-layer
+text report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.obs import TelemetrySnapshot
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _metric_lines(metrics: Iterable[dict]) -> dict[str, list[str]]:
+    by_layer: dict[str, list[str]] = {}
+    for metric in metrics:
+        name = metric["name"]
+        layer = name.split(".", 1)[0]
+        labels = metric.get("labels") or {}
+        label_text = (
+            " {" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels else ""
+        )
+        kind = metric["kind"]
+        if kind == "counter":
+            detail = f"{_format_value(metric['value'])}"
+        elif kind == "gauge":
+            detail = (
+                f"{_format_value(metric['value'])} "
+                f"(min {_format_value(metric['min'])}, "
+                f"max {_format_value(metric['max'])})"
+            )
+        else:  # histogram
+            if not metric["count"]:
+                continue
+            detail = (
+                f"n={metric['count']} mean={_format_value(metric['mean'])} "
+                f"min={_format_value(metric['min'])} "
+                f"max={_format_value(metric['max'])}"
+            )
+        by_layer.setdefault(layer, []).append(
+            f"  {name + label_text:<52} [{kind}] {detail}"
+        )
+    return by_layer
+
+
+def format_report(
+    snapshot: Union[TelemetrySnapshot, list[dict]],
+    title: str = "Telemetry report",
+) -> str:
+    """Render a snapshot (or JSONL records read back) as a text report."""
+    if isinstance(snapshot, TelemetrySnapshot):
+        metrics = snapshot.metrics
+        events = [event.to_dict() for event in snapshot.events]
+        time = snapshot.time
+    else:
+        metrics = [r for r in snapshot if r.get("kind") in
+                   ("counter", "gauge", "histogram")]
+        events = [r for r in snapshot if r.get("kind") == "event"]
+        headers = [r for r in snapshot if r.get("kind") == "snapshot"]
+        time = headers[0]["time"] if headers else 0.0
+
+    lines = [title, "=" * len(title),
+             f"virtual time: {time:.6f} s | metrics: {len(metrics)} | "
+             f"events: {len(events)}", ""]
+    by_layer = _metric_lines(metrics)
+    for layer in sorted(by_layer):
+        lines.append(f"[{layer}]")
+        lines.extend(sorted(by_layer[layer]))
+        lines.append("")
+
+    event_counts: dict[str, int] = {}
+    for event in events:
+        key = f"{event['layer']}.{event['name']}"
+        event_counts[key] = event_counts.get(key, 0) + 1
+    if event_counts:
+        lines.append("[events]")
+        for key in sorted(event_counts):
+            lines.append(f"  {key:<44} x{event_counts[key]}")
+        lines.append("")
+    return "\n".join(lines)

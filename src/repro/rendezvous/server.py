@@ -52,6 +52,7 @@ class RendezvousServer:
                  trusted_publisher_key_ids: Optional[list[bytes]] = None) -> None:
         self.node = node
         self.port = port
+        self._obs = node.sim.obs
         self.trusted_publisher_key_ids = list(trusted_publisher_key_ids or [])
         self.experiments: list[StoredExperiment] = []
         self.subscribers: list[Subscriber] = []
@@ -91,10 +92,18 @@ class RendezvousServer:
                         message: RdzPublish) -> Generator:
         ok, reason = self._validate_publish(message)
         yield from stream.send(RdzPublishResult(ok=ok, reason=reason))
+        obs = self._obs
         if not ok:
             self.publications_rejected += 1
+            if obs.enabled:
+                obs.counter("rendezvous.publish_rejected").inc()
+                obs.emit("rendezvous", "publish-rejected", reason=reason)
             return
         self.publications_accepted += 1
+        if obs.enabled:
+            obs.counter("rendezvous.publish_accepted").inc()
+            obs.emit("rendezvous", "publish-accepted",
+                     subscribers=len(self.subscribers))
         channels = self._chain_channels(message.delivery_chains)
         stored = StoredExperiment(
             descriptor_bytes=message.descriptor,
@@ -154,6 +163,9 @@ class RendezvousServer:
             outbox=self.node.sim.queue(name="rdz-sub-outbox"),
         )
         self.subscribers.append(subscriber)
+        if self._obs.enabled:
+            self._obs.counter("rendezvous.subscriptions").inc()
+            self._obs.gauge("rendezvous.subscribers").set(len(self.subscribers))
         self.node.spawn(self._subscriber_writer(subscriber), name="rdz-sub-writer")
         # Replay stored experiments matching the subscription.
         for stored in self.experiments:
@@ -172,6 +184,8 @@ class RendezvousServer:
             self.subscribers.remove(subscriber)
         except ValueError:
             pass
+        if self._obs.enabled:
+            self._obs.gauge("rendezvous.subscribers").set(len(self.subscribers))
 
     def _subscriber_writer(self, subscriber: Subscriber) -> Generator:
         while True:
@@ -191,6 +205,8 @@ class RendezvousServer:
             return
         chain = stored.delivery_chains[0] if stored.delivery_chains else b""
         self.experiments_delivered += 1
+        if self._obs.enabled:
+            self._obs.counter("rendezvous.delivered").inc()
         subscriber.outbox.put(
             RdzExperiment(descriptor=stored.descriptor_bytes, chain=chain)
         )
