@@ -1,0 +1,72 @@
+"""O2 — fault-injection overhead: the hooks must be free when no plan is armed.
+
+Every ``LinkDirection`` carries a ``faults`` slot consulted on the
+transmit hot path. Like the observability guards (O1), the disarmed case
+costs one attribute load and a branch; an armed-but-idle plan (state
+attached, all probabilities zero, no outage) adds only the zero-checks.
+This benchmark measures packet-forwarding throughput in both modes and
+bounds the ratio.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.netsim.faults import FaultPlan
+from repro.netsim.topology import linear_topology
+from repro.packet.ipv4 import IPv4Packet, PROTO_RAW_TEST
+
+PACKET_COUNT = 300
+
+
+def _forward_run(armed_idle: bool) -> float:
+    net, src, dst = linear_topology(hop_count=3, bandwidth_bps=1e9)
+    if armed_idle:
+        # State attached to every hop, but no fault is ever drawn:
+        # outage in the far future, probabilities left at zero.
+        plan = FaultPlan(seed=0)
+        for link in net.links:
+            plan.link_impairment(link, start=0.0)
+        plan.install(net.sim)
+    payload = b"x" * 500
+    addr_src, addr_dst = src.primary_address(), dst.primary_address()
+    start = time.perf_counter()
+    for _ in range(PACKET_COUNT):
+        src.send_ip(IPv4Packet(src=addr_src, dst=addr_dst,
+                               proto=PROTO_RAW_TEST, payload=payload))
+    net.sim.run()
+    elapsed = time.perf_counter() - start
+    assert dst.ip.packets_delivered == PACKET_COUNT
+    return elapsed
+
+
+def test_o2_forwarding_no_plan(benchmark):
+    """Forwarding throughput with no FaultPlan armed (the default)."""
+    benchmark(_forward_run, False)
+
+
+def test_o2_forwarding_armed_idle(benchmark):
+    """Forwarding throughput with a plan armed but injecting nothing."""
+    benchmark(_forward_run, True)
+
+
+def test_o2_overhead_ratio(benchmark):
+    """Side-by-side: the no-faults hot path must stay within noise."""
+    def timed(armed_idle: bool, repeats: int = 5) -> float:
+        return min(_forward_run(armed_idle) for _ in range(repeats))
+
+    t_off = timed(False)
+    t_idle = timed(True)
+    print_table(
+        "O2: forwarding throughput, faults disarmed vs armed-but-idle",
+        ["mode", "pkt/s", "ratio vs disarmed"],
+        [
+            ["disarmed", PACKET_COUNT / t_off, 1.0],
+            ["armed-idle", PACKET_COUNT / t_idle, t_idle / t_off],
+        ],
+    )
+    # Generous bound for shared-CI timing noise; the real cost is a few
+    # zero-compares per hop.
+    assert t_idle / t_off < 5.0
+    assert benchmark.pedantic(_forward_run, args=(False,),
+                              rounds=3, iterations=1) > 0

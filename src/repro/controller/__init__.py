@@ -5,6 +5,7 @@ from repro.controller.client import (
     ControllerServer,
     EndpointHandle,
     ExperimentIdentity,
+    RpcTimeout,
     SessionClosed,
 )
 from repro.controller.clocksync import (
@@ -12,6 +13,7 @@ from repro.controller.clocksync import (
     ClockSample,
     estimate_clock,
 )
+from repro.controller.recovery import ResilientHandle
 from repro.controller.session import Experimenter, OperatorGrant
 
 __all__ = [
@@ -23,6 +25,8 @@ __all__ = [
     "Experimenter",
     "ExperimentIdentity",
     "OperatorGrant",
+    "ResilientHandle",
+    "RpcTimeout",
     "SessionClosed",
     "estimate_clock",
 ]

@@ -63,6 +63,20 @@ class SessionClosed(Exception):
     """The endpoint session ended while a command was outstanding."""
 
 
+class RpcTimeout(Exception):
+    """A command saw no matched response within the configured timeout.
+
+    The session itself may still be alive (e.g. the response is stuck
+    behind a link outage); whether to retry, reconnect, or abandon is the
+    caller's policy — see :class:`repro.controller.recovery.ResilientHandle`.
+    """
+
+    def __init__(self, command: str, timeout: float) -> None:
+        super().__init__(f"{command} unanswered after {timeout:g}s")
+        self.command = command
+        self.timeout = timeout
+
+
 @dataclass
 class ExperimentIdentity:
     """What a controller presents to endpoints: descriptor + chains.
@@ -84,7 +98,8 @@ class EndpointHandle:
     """
 
     def __init__(self, node: Node, stream: MessageStream, hello: Hello,
-                 session_id: int, buffer_limit: int) -> None:
+                 session_id: int, buffer_limit: int,
+                 rpc_timeout: Optional[float] = None) -> None:
         self.node = node
         self.sim = node.sim
         self.stream = stream
@@ -93,6 +108,9 @@ class EndpointHandle:
         self.buffer_limit = buffer_limit
         self.endpoint_name = hello.endpoint_name
         self.caps = hello.caps
+        # None = wait forever (the original behavior); a float bounds
+        # every _request and raises RpcTimeout when it elapses.
+        self.rpc_timeout = rpc_timeout
 
         self._next_reqid = 1
         self._pending: dict[int, Event] = {}
@@ -150,26 +168,57 @@ class EndpointHandle:
                 return
 
     def _close_pending(self) -> None:
+        was_closed = self.closed
         self.closed = True
         pending, self._pending = self._pending, {}
+        obs = self._obs
+        if obs.enabled and not was_closed:
+            # A session that said goodbye and owes no answers closed
+            # cleanly; anything else died out from under the controller.
+            if self.end_reason == "bye" and not pending:
+                obs.emit("rpc", "session-closed",
+                         endpoint=self.endpoint_name)
+            else:
+                obs.counter("rpc.sessions_lost").inc()
+                obs.emit("rpc", "session-lost", endpoint=self.endpoint_name,
+                         pending=len(pending))
         for event in pending.values():
             event.fire(None)
 
     def _request(self, message: Message, reqid: int) -> Generator:
-        """Send a command and wait for its matched response."""
+        """Send a command and wait for its matched response.
+
+        Raises :class:`SessionClosed` when the session dies mid-command
+        and :class:`RpcTimeout` when ``rpc_timeout`` is set and elapses
+        first (the reqid is abandoned; a late response is discarded by
+        the reader loop).
+        """
         if self.closed:
             raise SessionClosed("endpoint session is closed")
         obs = self._obs
+        op = type(message).__name__.lower()
         started = self.sim.now if obs.enabled else 0.0
         waiter = self.sim.event(name=f"req-{reqid}")
         self._pending[reqid] = waiter
         self._outbox.put(message)
-        response = yield waiter
+        if self.rpc_timeout is not None:
+            timeout_event = self.sim.event(name=f"req-{reqid}-timeout")
+            timer = self.sim.schedule(self.rpc_timeout, timeout_event.fire)
+            index, response = yield any_of(self.sim, [waiter, timeout_event])
+            if index == 1:
+                self._pending.pop(reqid, None)
+                if obs.enabled:
+                    obs.counter("rpc.timeouts", op=op).inc()
+                    obs.emit("rpc", "timeout", endpoint=self.endpoint_name,
+                             op=op, reqid=reqid, timeout=self.rpc_timeout)
+                raise RpcTimeout(op, self.rpc_timeout)
+            timer.cancel()
+        else:
+            response = yield waiter
         if response is None:
             raise SessionClosed("endpoint session ended mid-command")
         if obs.enabled:
-            obs.counter("controller.rpcs",
-                        op=type(message).__name__.lower()).inc()
+            obs.counter("controller.rpcs", op=op).inc()
             obs.histogram("controller.rpc_rtt_s").observe(
                 self.sim.now - started
             )
@@ -294,10 +343,12 @@ class ControllerServer:
     experiment over the handles it yields, tear it down.
     """
 
-    def __init__(self, node: Node, port: int, identity: ExperimentIdentity) -> None:
+    def __init__(self, node: Node, port: int, identity: ExperimentIdentity,
+                 rpc_timeout: Optional[float] = None) -> None:
         self.node = node
         self.port = port
         self.identity = identity
+        self.rpc_timeout = rpc_timeout
         self.endpoints: Queue = node.sim.queue(name="controller-endpoints")
         self.auth_failures: list[str] = []
         self._listener = None
@@ -346,7 +397,7 @@ class ControllerServer:
         if isinstance(response, AuthOk):
             handle = EndpointHandle(
                 self.node, stream, hello, response.session_id,
-                response.buffer_limit,
+                response.buffer_limit, rpc_timeout=self.rpc_timeout,
             )
             self.endpoints.put(handle)
         elif isinstance(response, AuthFail):

@@ -20,17 +20,20 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from repro.controller.client import ControllerServer, EndpointHandle
+from repro.controller.recovery import ResilientHandle
 from repro.controller.session import Experimenter
 from repro.crypto.certificate import Restrictions
 from repro.crypto.keys import KeyPair
 from repro.endpoint.config import EndpointConfig
 from repro.endpoint.endpoint import Endpoint
+from repro.netsim.faults import FaultPlan
 from repro.netsim.kernel import SimError
 from repro.netsim.node import Node
 from repro.netsim.topology import Network, access_topology
 from repro.obs import TelemetrySnapshot
 from repro.rendezvous.descriptor import ExperimentDescriptor
 from repro.rendezvous.server import RendezvousServer
+from repro.util.retry import RetryPolicy
 
 DEFAULT_CONTROLLER_PORT = 7000
 DEFAULT_RENDEZVOUS_PORT = 7100
@@ -56,7 +59,10 @@ class Testbed:
         endpoint_host: Optional[Node] = None,
         controller_host: Optional[Node] = None,
         target_host: Optional[Node] = None,
+        endpoint_reconnect: bool = False,
+        endpoint_reconnect_policy: Optional[RetryPolicy] = None,
     ) -> None:
+        self.access_link = None
         if network is None:
             network, endpoint_host, controller_host, target_host = access_topology(
                 access_bandwidth_bps=access_bandwidth_bps,
@@ -65,6 +71,9 @@ class Testbed:
                 uplink_bandwidth_bps=uplink_bandwidth_bps,
                 access_jitter=access_jitter,
             )
+            # gw--endpoint is the first link access_topology creates; the
+            # natural place to inject faults between endpoint and the world.
+            self.access_link = network.links[0]
         assert endpoint_host is not None
         assert controller_host is not None
         assert target_host is not None
@@ -89,7 +98,10 @@ class Testbed:
             trusted_key_ids=[self.operator.key_id],
             capture_buffer_bytes=capture_buffer_bytes,
             allow_raw=allow_raw,
+            reconnect=endpoint_reconnect,
         )
+        if endpoint_reconnect_policy is not None:
+            self.endpoint_config.reconnect_policy = endpoint_reconnect_policy
         self.endpoint = Endpoint(self.endpoint_host, self.endpoint_config)
         self.rendezvous: Optional[RendezvousServer] = None
         self._next_port = DEFAULT_CONTROLLER_PORT
@@ -109,6 +121,7 @@ class Testbed:
         experiment_restrictions: Optional[Restrictions] = None,
         controller_host: Optional[Node] = None,
         experimenter: Optional[Experimenter] = None,
+        rpc_timeout: Optional[float] = None,
     ) -> tuple[ControllerServer, ExperimentDescriptor]:
         """Start a ControllerServer for a named experiment."""
         host = controller_host or self.controller_host
@@ -120,7 +133,9 @@ class Testbed:
             priority=priority,
             experiment_restrictions=experiment_restrictions,
         )
-        server = ControllerServer(host, port, identity).start()
+        server = ControllerServer(
+            host, port, identity, rpc_timeout=rpc_timeout
+        ).start()
         return server, descriptor
 
     def start_rendezvous(self, port: int = DEFAULT_RENDEZVOUS_PORT,
@@ -170,6 +185,11 @@ class Testbed:
         timeout: float = 600.0,
         send_bye: bool = True,
         collect_telemetry: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        resilient: bool = False,
+        rpc_timeout: Optional[float] = None,
+        recovery_policy: Optional[RetryPolicy] = None,
+        recovery_seed: int = 0,
     ):
         """Run one experiment function against the testbed endpoint.
 
@@ -182,9 +202,19 @@ class Testbed:
         for the run and a ``(result, TelemetrySnapshot)`` pair is returned;
         the snapshot carries every layer's metrics plus the buffered event
         stream, ready for ``export_jsonl``.
+
+        Fault tolerance: ``fault_plan`` arms a
+        :class:`~repro.netsim.faults.FaultPlan` on this testbed's
+        simulator before the run; ``resilient=True`` wraps the handle in
+        a :class:`~repro.controller.recovery.ResilientHandle` (retry with
+        backoff + reconnect + state replay); ``rpc_timeout`` bounds every
+        command round trip so a dead session surfaces as
+        :class:`RpcTimeout` instead of hanging until the run timeout.
         """
         if collect_telemetry:
             self.enable_telemetry()
+        if fault_plan is not None:
+            fault_plan.install(self.sim)
         obs = self.sim.obs
         span = (
             obs.span("core", "experiment", experiment=experiment_name)
@@ -194,11 +224,20 @@ class Testbed:
             experiment_name,
             priority=priority,
             experiment_restrictions=experiment_restrictions,
+            rpc_timeout=rpc_timeout,
         )
         self.connect_endpoint(descriptor)
 
         def driver() -> Generator:
             handle = yield server.wait_endpoint()
+            if resilient:
+                handle = ResilientHandle(
+                    server,
+                    handle,
+                    policy=recovery_policy,
+                    seed=recovery_seed,
+                    controller_clock=self.controller_host.clock,
+                )
             try:
                 result = yield from experiment(handle)
             finally:

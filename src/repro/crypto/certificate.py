@@ -70,9 +70,17 @@ class Restrictions:
         )
 
     def valid_at(self, now: float) -> bool:
+        """Whether ``now`` falls inside the validity window.
+
+        The window is ``[not_before, not_after)`` — inclusive start,
+        exclusive end — so abutting certificates (one expiring exactly
+        when the next begins) hand over without a shared valid instant
+        or a gap, and the same rule applies at every link of a chain
+        (:meth:`repro.crypto.chain.CertificateChain.verify`).
+        """
         if self.not_before is not None and now < self.not_before:
             return False
-        if self.not_after is not None and now > self.not_after:
+        if self.not_after is not None and now >= self.not_after:
             return False
         return True
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.proto.constants import CAP_RAW, CAP_TCP, CAP_UDP
+from repro.util.retry import RetryPolicy
 
 
 @dataclass
@@ -30,6 +31,15 @@ class EndpointConfig:
     # chose buffering — streaming puts control traffic on the access link
     # mid-measurement (see benchmarks/bench_a1_streaming_ablation.py).
     stream_captures: bool = False
+    # Fault tolerance: when True the endpoint supervises its controller
+    # and rendezvous connections, re-dialing with backoff after a
+    # transport loss or a crash-and-restart instead of giving up
+    # silently. Off by default — the paper's baseline endpoint makes one
+    # connection attempt per discovered experiment.
+    reconnect: bool = False
+    reconnect_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    # Seeds the backoff jitter so fault-injection runs are deterministic.
+    reconnect_seed: int = 0
 
     def caps(self) -> int:
         value = CAP_TCP | CAP_UDP

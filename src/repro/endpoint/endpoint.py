@@ -15,6 +15,7 @@ either a certificate/monitor check or a mechanical command execution.
 
 from __future__ import annotations
 
+import random as _random
 from typing import Generator, Optional
 
 from repro.endpoint.auth import AuthError, AuthorizedExperiment, verify_auth
@@ -117,6 +118,10 @@ class Session:
         self._writer = None
         self.ended = False
         self.commands_processed = 0
+        # Fired once with the end reason ("bye" | "transport" | "eof");
+        # supervisors wait on this to decide whether to re-dial.
+        self.end_event = sim.event(name=f"{self.name}-end")
+        self.end_reason: Optional[str] = None
 
     # -- contention protocol ---------------------------------------------------
 
@@ -191,10 +196,17 @@ class Session:
                 )
 
     def _write_loop(self) -> Generator:
-        """Single writer serializing all frames onto the control stream."""
+        """Single writer serializing all frames onto the control stream.
+
+        Shutdown is ordered by the outbox's None sentinel, which
+        ``_cleanup`` enqueues *after* any farewell message — checking
+        ``self.ended`` here instead would drop the SessionEnd a Bye just
+        queued, leaving the controller unable to tell a clean goodbye
+        from a dead session.
+        """
         while True:
             message = yield self.outbox.get()
-            if message is None or self.ended:
+            if message is None:
                 return
             try:
                 yield from self.stream.send(message)
@@ -205,13 +217,16 @@ class Session:
         self.outbox.put(message)
 
     def _command_loop(self) -> Generator:
+        reason = "transport"
         try:
             while True:
                 try:
                     message = yield from self.stream.recv()
                 except (TcpError, FramingError):
+                    reason = "transport"
                     break
                 if message is None:
+                    reason = "eof"
                     break
                 # Suspended sessions hold commands until control returns
                 # (§3.3); Bye is honoured immediately so a preempted
@@ -225,13 +240,14 @@ class Session:
                     ).inc()
                 if isinstance(message, Bye):
                     self.send_message(SessionEnd(reason="bye"))
+                    reason = "bye"
                     break
                 if isinstance(message, Yield):
                     self.endpoint.contention.yield_control(self)
                     continue
                 yield from self._dispatch(message)
         finally:
-            self._cleanup()
+            self._cleanup(reason)
 
     def _dispatch(self, message: Message) -> Generator:
         if isinstance(message, NOpen):
@@ -395,13 +411,14 @@ class Session:
 
     # -- teardown -----------------------------------------------------------------
 
-    def _cleanup(self) -> None:
+    def _cleanup(self, reason: str = "transport") -> None:
         if self.ended:
             return
         self.ended = True
+        self.end_reason = reason
         if self._obs.enabled:
             self._obs.emit("endpoint", "session-end", session=self.name,
-                           commands=self.commands_processed)
+                           commands=self.commands_processed, reason=reason)
         for socket in self.sockets.values():
             socket.close()
         self.sockets.clear()
@@ -410,6 +427,7 @@ class Session:
         self.endpoint.sessions.pop(self.session_id, None)
         self.outbox.put(None)  # stop the writer
         self.endpoint.node.sim.schedule(0.05, self.stream.close)
+        self.end_event.fire(reason)
 
 
 class Endpoint:
@@ -426,6 +444,11 @@ class Endpoint:
         self._next_session_id = 1
         self._seen_descriptors: set[bytes] = set()
         self.auth_failures = 0
+        # Crash-and-restart fault model (driven by netsim.faults).
+        self.crashed = False
+        self._restart_event = None
+        self._rng = _random.Random(self.config.reconnect_seed)
+        self._rdz_conns: list = []
 
     # -- memory/data plumbing -------------------------------------------------------
 
@@ -467,33 +490,125 @@ class Endpoint:
             return active.sockets
         return {}
 
-    # -- session establishment ---------------------------------------------------------
+    # -- crash-and-restart fault model ----------------------------------------
+
+    def crash(self) -> None:
+        """Abruptly lose all state, as a real endpoint losing power would.
+
+        Every control and rendezvous connection is aborted (the peer
+        sees a reset, not a FIN) and session state dies with them. The
+        endpoint stays down until :meth:`restart`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._restart_event = self.node.sim.event(
+            name=f"{self.config.name}-restart"
+        )
+        obs = self.node.sim.obs
+        if obs.enabled:
+            obs.counter("endpoint.crashes").inc()
+            obs.emit("endpoint", "crash", endpoint=self.config.name,
+                     sessions=len(self.sessions))
+        for session in list(self.sessions.values()):
+            session.stream.conn.abort()
+        for conn in list(self._rdz_conns):
+            conn.abort()
+
+    def restart(self) -> None:
+        """Come back up after a crash; supervised connections re-dial."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        obs = self.node.sim.obs
+        if obs.enabled:
+            obs.counter("endpoint.restarts").inc()
+            obs.emit("endpoint", "restart", endpoint=self.config.name)
+        event, self._restart_event = self._restart_event, None
+        if event is not None:
+            event.fire(None)
+
+    # -- session establishment -------------------------------------------------
 
     def connect_to_controller(
         self, addr: int, port: int, descriptor_hash: bytes = b""
     ):
-        """Contact an experiment controller and offer this endpoint."""
+        """Contact an experiment controller and offer this endpoint.
+
+        With ``config.reconnect`` the connection is supervised: a
+        transport-level session loss (or a crash-and-restart) triggers
+        re-dialing with exponential backoff until the controller says
+        Bye or the retry budget is exhausted.
+        """
+        if self.config.reconnect:
+            return self.node.spawn(
+                self._supervised_connect(addr, port, descriptor_hash),
+                name=f"{self.config.name}-supervise",
+            )
         return self.node.spawn(
             self._session_startup(addr, port, descriptor_hash),
             name=f"{self.config.name}-connect",
         )
 
+    def _supervised_connect(self, addr: int, port: int,
+                            descriptor_hash: bytes) -> Generator:
+        policy = self.config.reconnect_policy
+        obs = self.node.sim.obs
+        attempt = 0
+        while True:
+            if self.crashed:
+                event = self._restart_event
+                if event is not None:
+                    yield event
+                attempt = 0
+                continue
+            session = yield from self._session_startup(
+                addr, port, descriptor_hash
+            )
+            if session is not None:
+                attempt = 0
+                reason = yield session.end_event
+                if reason == "bye":
+                    return None  # clean goodbye: the experiment is over
+                continue  # re-dial immediately after an established session
+            if attempt >= policy.max_attempts:
+                if obs.enabled:
+                    obs.emit("endpoint", "reconnect-giveup",
+                             endpoint=self.config.name, attempts=attempt)
+                return None
+            delay = policy.delay_for(attempt, self._rng)
+            attempt += 1
+            if obs.enabled:
+                obs.counter("endpoint.reconnect_attempts").inc()
+                obs.emit("endpoint", "reconnect", endpoint=self.config.name,
+                         attempt=attempt, delay=delay)
+            yield delay
+
     def _session_startup(self, addr: int, port: int,
                          descriptor_hash: bytes) -> Generator:
         sim = self.node.sim
+        if self.crashed:
+            return None
         try:
             conn = yield from self.node.tcp.open_connection(addr, port)
         except TcpError:
             return None
+        if self.crashed:
+            conn.abort()
+            return None
         stream = MessageStream(conn)
-        yield from stream.send(
-            Hello(
-                version=PROTOCOL_VERSION,
-                caps=self.config.caps(),
-                endpoint_name=self.config.name,
-                descriptor_hash=descriptor_hash,
+        try:
+            yield from stream.send(
+                Hello(
+                    version=PROTOCOL_VERSION,
+                    caps=self.config.caps(),
+                    endpoint_name=self.config.name,
+                    descriptor_hash=descriptor_hash,
+                )
             )
-        )
+        except TcpError:
+            conn.close()
+            return None
         # Wait for Auth, bounded by the configured timeout.
         def recv_safe() -> Generator:
             try:
@@ -523,8 +638,15 @@ class Endpoint:
                 sim.obs.counter("endpoint.auth_failures").inc()
                 sim.obs.emit("endpoint", "auth-fail",
                              endpoint=self.config.name, reason=str(exc))
-            yield from stream.send(AuthFail(reason=str(exc)))
+            try:
+                yield from stream.send(AuthFail(reason=str(exc)))
+            except TcpError:
+                pass
             conn.close()
+            return None
+        if self.crashed:
+            # Crashed mid-handshake: the connection dies with everything else.
+            conn.abort()
             return None
         session = Session(self, stream, authorized, self._next_session_id)
         self._next_session_id += 1
@@ -533,10 +655,14 @@ class Endpoint:
             sim.obs.counter("endpoint.sessions_accepted").inc()
             sim.obs.emit("endpoint", "session-start", session=session.name,
                          priority=session.priority)
-        yield from stream.send(
-            AuthOk(session_id=session.session_id,
-                   buffer_limit=session.buffer.capacity)
-        )
+        try:
+            yield from stream.send(
+                AuthOk(session_id=session.session_id,
+                       buffer_limit=session.buffer.capacity)
+            )
+        except TcpError:
+            session._cleanup("transport")
+            return None
         session.start()
         self.contention.request_control(session)
         return session
@@ -544,38 +670,94 @@ class Endpoint:
     # -- rendezvous subscription (§3.2) ---------------------------------------------------
 
     def start_rendezvous(self, rdz_addr: int, rdz_port: int):
-        """Subscribe to rendezvous channels and chase published experiments."""
+        """Subscribe to rendezvous channels and chase published experiments.
+
+        With ``config.reconnect`` the subscription is supervised: if the
+        rendezvous server restarts (it is the persistent infrastructure —
+        losing it should only be a blip), the endpoint resubscribes with
+        backoff. Already-seen descriptors are deduplicated, so replays
+        from the restarted server don't double-connect.
+        """
+        if self.config.reconnect:
+            return self.node.spawn(
+                self._rendezvous_supervisor(rdz_addr, rdz_port),
+                name=f"{self.config.name}-rendezvous",
+            )
         return self.node.spawn(
-            self._rendezvous_loop(rdz_addr, rdz_port),
+            self._rendezvous_once(rdz_addr, rdz_port),
             name=f"{self.config.name}-rendezvous",
         )
 
+    def _rendezvous_once(self, rdz_addr: int, rdz_port: int) -> Generator:
+        yield from self._rendezvous_loop(rdz_addr, rdz_port)
+        return None
+
+    def _rendezvous_supervisor(self, rdz_addr: int, rdz_port: int) -> Generator:
+        policy = self.config.reconnect_policy
+        obs = self.node.sim.obs
+        attempt = 0
+        while True:
+            if self.crashed:
+                event = self._restart_event
+                if event is not None:
+                    yield event
+                attempt = 0
+                continue
+            subscribed = yield from self._rendezvous_loop(rdz_addr, rdz_port)
+            if subscribed:
+                attempt = 0  # connection held for a while; fresh budget
+            if attempt >= policy.max_attempts:
+                if obs.enabled:
+                    obs.emit("endpoint", "rdz-giveup",
+                             endpoint=self.config.name, attempts=attempt)
+                return None
+            delay = policy.delay_for(attempt, self._rng)
+            attempt += 1
+            if obs.enabled:
+                obs.counter("endpoint.rdz_resubscribes").inc()
+                obs.emit("endpoint", "rdz-resubscribe",
+                         endpoint=self.config.name, attempt=attempt,
+                         delay=delay)
+            yield delay
+
     def _rendezvous_loop(self, rdz_addr: int, rdz_port: int) -> Generator:
+        """One subscription lifetime; returns True once subscribed."""
         try:
             conn = yield from self.node.tcp.open_connection(rdz_addr, rdz_port)
         except TcpError:
-            return
-        stream = MessageStream(conn)
-        yield from stream.send(
-            RdzSubscribe(channels=tuple(self.config.trusted_key_ids))
-        )
-        while True:
+            return False
+        self._rdz_conns.append(conn)
+        try:
+            stream = MessageStream(conn)
             try:
-                message = yield from stream.recv()
-            except (TcpError, FramingError):
-                return
-            if message is None:
-                return
-            if not isinstance(message, RdzExperiment):
-                continue
+                yield from stream.send(
+                    RdzSubscribe(channels=tuple(self.config.trusted_key_ids))
+                )
+            except TcpError:
+                return False
+            while True:
+                try:
+                    message = yield from stream.recv()
+                except (TcpError, FramingError):
+                    return True
+                if message is None:
+                    return True
+                if not isinstance(message, RdzExperiment):
+                    continue
+                try:
+                    descriptor = ExperimentDescriptor.decode(message.descriptor)
+                except DecodeError:
+                    continue
+                digest = descriptor.hash()
+                if digest in self._seen_descriptors:
+                    continue
+                self._seen_descriptors.add(digest)
+                self.connect_to_controller(
+                    descriptor.controller_addr, descriptor.controller_port,
+                    digest,
+                )
+        finally:
             try:
-                descriptor = ExperimentDescriptor.decode(message.descriptor)
-            except DecodeError:
-                continue
-            digest = descriptor.hash()
-            if digest in self._seen_descriptors:
-                continue
-            self._seen_descriptors.add(digest)
-            self.connect_to_controller(
-                descriptor.controller_addr, descriptor.controller_port, digest
-            )
+                self._rdz_conns.remove(conn)
+            except ValueError:
+                pass

@@ -21,7 +21,13 @@ if TYPE_CHECKING:
 
 
 class ScheduledSend:
-    """One queued transmission."""
+    """One queued transmission.
+
+    ``actual_ticks`` is the endpoint-local time the data actually left
+    (the paper's "recording the time it was actually sent"); it stays
+    ``None`` for sends that failed, were cancelled, or have not fired —
+    tick 0 is a legitimate clock reading, not a sentinel.
+    """
 
     __slots__ = ("socket", "data", "due_ticks", "timer", "done", "actual_ticks")
 
@@ -31,7 +37,7 @@ class ScheduledSend:
         self.due_ticks = due_ticks
         self.timer: Optional[Timer] = None
         self.done = False
-        self.actual_ticks = 0
+        self.actual_ticks: Optional[int] = None
 
 
 class SendQueue:
@@ -72,7 +78,7 @@ class SendQueue:
             if entry.done:
                 return
             entry.done = True
-            entry.actual_ticks = self._clock.ticks()
+            fired_ticks = self._clock.ticks()
             try:
                 self._pending.remove(entry)
             except ValueError:
@@ -85,8 +91,10 @@ class SendQueue:
                 lag = max(0.0, self._sim.now - due_sim)
                 obs.histogram("endpoint.sendqueue_lag_s").observe(lag)
             if on_fire(entry):
+                # Only a successful transmission records a send time.
+                entry.actual_ticks = fired_ticks
                 self.sends_completed += 1
-                entry.socket.note_send(entry.actual_ticks)
+                entry.socket.note_send(fired_ticks)
                 if obs.enabled:
                     obs.counter("endpoint.sends_completed").inc()
             else:

@@ -20,15 +20,24 @@ contention the design avoids — benchmark C1 sweeps both.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, Optional
 
-from repro.controller.client import EndpointHandle
+from repro.controller.client import (
+    CommandError,
+    EndpointHandle,
+    RpcTimeout,
+    SessionClosed,
+)
 from repro.experiments.servers import UdpSink
 from repro.netsim.clock import NANOSECONDS
 from repro.netsim.node import Node
 
 # Per-packet wire overhead: UDP(8) + IPv4(20) + link(14).
 WIRE_OVERHEAD = 42
+
+# Faults an experiment driver degrades gracefully on: the session died,
+# a command went unanswered, or the endpoint refused a command.
+_RECOVERABLE = (SessionClosed, RpcTimeout, CommandError)
 
 
 @dataclass
@@ -39,6 +48,11 @@ class BandwidthResult:
     burst_span: float
     first_arrival: float
     scheduled_lead: float
+    # Graceful degradation under faults: ``partial`` marks a run cut
+    # short by a session/command failure, ``error`` says why. The
+    # measured fields then cover only the packets that made it out.
+    partial: bool = False
+    error: Optional[str] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -63,42 +77,57 @@ def measure_uplink_bandwidth(
     Use as ``result = yield from measure_uplink_bandwidth(handle, node)``.
     """
     sink = UdpSink(controller_node, sink_port).start()
-    status = yield from handle.nopen_udp(
-        sktid,
-        locport=0,
-        remaddr=controller_node.primary_address(),
-        remport=sink_port,
-    )
-    handle.expect_ok(status, "nopen(udp)")
-    t0 = yield from handle.read_clock()
-    if immediate:
-        due = 0  # a time in the past: send upon command arrival (§3.1)
-    else:
-        due = t0 + int(lead_time * NANOSECONDS)
-    payload_base = b"B" * (payload_size - 2)
-    for index in range(packet_count):
-        data = index.to_bytes(2, "big") + payload_base
+    error: Optional[str] = None
+    issued = 0
+    try:
+        status = yield from handle.nopen_udp(
+            sktid,
+            locport=0,
+            remaddr=controller_node.primary_address(),
+            remport=sink_port,
+        )
+        handle.expect_ok(status, "nopen(udp)")
+        t0 = yield from handle.read_clock()
         if immediate:
-            # Pipelined: the endpoint transmits each datagram as soon as
-            # its command arrives, so control delivery and measurement
-            # traffic share the access link — the contention the paper's
-            # future-scheduling design avoids.
-            handle.nsend_nowait(sktid, due, data)
+            due = 0  # a time in the past: send upon command arrival (§3.1)
         else:
-            status = yield from handle.nsend(sktid, due, data)
-            handle.expect_ok(status, "nsend")
+            due = t0 + int(lead_time * NANOSECONDS)
+        payload_base = b"B" * (payload_size - 2)
+        for index in range(packet_count):
+            data = index.to_bytes(2, "big") + payload_base
+            if immediate:
+                # Pipelined: the endpoint transmits each datagram as soon as
+                # its command arrives, so control delivery and measurement
+                # traffic share the access link — the contention the paper's
+                # future-scheduling design avoids.
+                handle.nsend_nowait(sktid, due, data)
+            else:
+                status = yield from handle.nsend(sktid, due, data)
+                handle.expect_ok(status, "nsend")
+            issued += 1
+    except _RECOVERABLE as exc:
+        # Partial result: report what the sink observed of the packets
+        # that were scheduled before the session/command failed.
+        error = f"{type(exc).__name__}: {exc}"
     # Wait for the burst to drain to the sink.
-    deadline = controller_node.sim.now + lead_time + settle_time
-    while sink.count < packet_count and controller_node.sim.now < deadline:
-        yield 0.1
-    yield from handle.nclose(sktid)
+    if issued:
+        deadline = controller_node.sim.now + lead_time + settle_time
+        while sink.count < issued and controller_node.sim.now < deadline:
+            yield 0.1
+    try:
+        if not handle.closed:
+            yield from handle.nclose(sktid)
+    except _RECOVERABLE:
+        pass
     arrivals = sink.arrivals
     measured = sink.observed_rate_bps(WIRE_OVERHEAD)
     return BandwidthResult(
         measured_bps=measured,
-        packets_sent=packet_count,
+        packets_sent=issued,
         packets_received=len(arrivals),
         burst_span=(arrivals[-1][0] - arrivals[0][0]) if len(arrivals) > 1 else 0.0,
         first_arrival=arrivals[0][0] if arrivals else 0.0,
         scheduled_lead=0.0 if immediate else lead_time,
+        partial=error is not None,
+        error=error,
     )

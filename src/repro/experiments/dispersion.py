@@ -12,14 +12,22 @@ provides in place of fast endpoint response (§3.5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator
+from typing import Generator, Optional
 
-from repro.controller.client import EndpointHandle
+from repro.controller.client import (
+    CommandError,
+    EndpointHandle,
+    RpcTimeout,
+    SessionClosed,
+)
 from repro.netsim.clock import NANOSECONDS
 from repro.netsim.links import LINK_OVERHEAD_BYTES
 from repro.netsim.node import Node
 from repro.packet.ipv4 import IP_HEADER_LEN
 from repro.packet.udp import UDP_HEADER_LEN
+
+
+_RECOVERABLE = (SessionClosed, RpcTimeout, CommandError)
 
 
 @dataclass
@@ -28,6 +36,10 @@ class DispersionResult:
     pair_dispersions: list[float] = field(default_factory=list)
     pairs_received: int = 0
     pairs_sent: int = 0
+    # Graceful degradation: pairs timestamped before a failure still
+    # contribute to the estimate; ``error`` says what cut the run short.
+    partial: bool = False
+    error: Optional[str] = None
 
 
 def measure_downlink_dispersion(
@@ -47,33 +59,44 @@ def measure_downlink_dispersion(
     bottleneck yields the bandwidth estimate; the median over pairs
     rejects cross-traffic noise.
     """
-    status = yield from handle.nopen_udp(sktid, locport=listen_port)
-    handle.expect_ok(status, "nopen(udp)")
-    endpoint_addr = yield from handle.mread(8, 4)  # OFF_ADDR_IP
-    endpoint_ip = int.from_bytes(endpoint_addr, "big")
-    sock = sender_node.udp.bind(0)
-    payload = b"P" * payload_size
-    for pair in range(pair_count):
-        for half in range(2):
-            sock.sendto(
-                bytes([pair, half]) + payload, endpoint_ip, listen_port
-            )
-        yield pair_spacing
-    # Collect arrival timestamps.
-    deadline = (yield from handle.read_clock()) + int(3 * NANOSECONDS)
+    error: Optional[str] = None
+    sent = 0
     arrivals: dict[tuple[int, int], int] = {}
-    while len(arrivals) < 2 * pair_count:
-        poll = yield from handle.npoll(deadline)
-        for record in poll.records:
-            if record.sktid != sktid or len(record.data) < 2:
-                continue
-            key = (record.data[0], record.data[1])
-            arrivals.setdefault(key, record.timestamp)
-        if not poll.records:
-            now = yield from handle.read_clock()
-            if now >= deadline:
-                break
-    yield from handle.nclose(sktid)
+    try:
+        status = yield from handle.nopen_udp(sktid, locport=listen_port)
+        handle.expect_ok(status, "nopen(udp)")
+        endpoint_addr = yield from handle.mread(8, 4)  # OFF_ADDR_IP
+        endpoint_ip = int.from_bytes(endpoint_addr, "big")
+        sock = sender_node.udp.bind(0)
+        payload = b"P" * payload_size
+        for pair in range(pair_count):
+            for half in range(2):
+                sock.sendto(
+                    bytes([pair, half]) + payload, endpoint_ip, listen_port
+                )
+            sent = pair + 1
+            yield pair_spacing
+        # Collect arrival timestamps.
+        deadline = (yield from handle.read_clock()) + int(3 * NANOSECONDS)
+        while len(arrivals) < 2 * pair_count:
+            poll = yield from handle.npoll(deadline)
+            for record in poll.records:
+                if record.sktid != sktid or len(record.data) < 2:
+                    continue
+                key = (record.data[0], record.data[1])
+                arrivals.setdefault(key, record.timestamp)
+            if not poll.records:
+                now = yield from handle.read_clock()
+                if now >= deadline:
+                    break
+    except _RECOVERABLE as exc:
+        # Partial result: whatever pairs were timestamped still count.
+        error = f"{type(exc).__name__}: {exc}"
+    try:
+        if not handle.closed:
+            yield from handle.nclose(sktid)
+    except _RECOVERABLE:
+        pass
     wire_bits = (
         payload_size + 2 + UDP_HEADER_LEN + IP_HEADER_LEN + LINK_OVERHEAD_BYTES
     ) * 8
@@ -85,12 +108,17 @@ def measure_downlink_dispersion(
             continue
         dispersions.append((second - first) / NANOSECONDS)
     if not dispersions:
-        return DispersionResult(estimated_bps=0.0, pairs_sent=pair_count)
+        return DispersionResult(
+            estimated_bps=0.0, pairs_sent=sent,
+            partial=error is not None, error=error,
+        )
     dispersions.sort()
     median = dispersions[len(dispersions) // 2]
     return DispersionResult(
         estimated_bps=wire_bits / median,
         pair_dispersions=dispersions,
         pairs_received=len(dispersions),
-        pairs_sent=pair_count,
+        pairs_sent=sent,
+        partial=error is not None,
+        error=error,
     )

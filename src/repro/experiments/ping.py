@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
-from repro.controller.client import EndpointHandle
+from repro.controller.client import (
+    CommandError,
+    EndpointHandle,
+    RpcTimeout,
+    SessionClosed,
+)
 from repro.endpoint.memory import OFF_ADDR_IP
 from repro.filtervm import builtins
 from repro.netsim.clock import NANOSECONDS
@@ -26,10 +31,17 @@ class PingProbe:
     rtt: Optional[float]  # endpoint-clock seconds; None = lost
 
 
+_RECOVERABLE = (SessionClosed, RpcTimeout, CommandError)
+
+
 @dataclass
 class PingResult:
     destination: int
     probes: list[PingProbe] = field(default_factory=list)
+    # Graceful degradation: probes scheduled before a failure still
+    # report their RTTs (or loss); ``error`` says what cut the run short.
+    partial: bool = False
+    error: Optional[str] = None
 
     @property
     def sent(self) -> int:
@@ -65,46 +77,59 @@ def ping(
     payload_size: int = 32,
 ) -> Generator:
     """Ping ``destination`` from the endpoint; returns PingResult."""
-    status = yield from handle.nopen_raw(sktid)
-    handle.expect_ok(status, "nopen(raw)")
-    endpoint_ip = int.from_bytes((yield from handle.mread(OFF_ADDR_IP, 4)), "big")
-    status = yield from handle.ncap(
-        sktid, 1 << 62, builtins.capture_protocol(PROTO_ICMP)
-    )
-    handle.expect_ok(status, "ncap")
-
-    # Schedule the whole probe train up front (no per-probe round trips).
-    t0 = yield from handle.read_clock()
-    send_times: dict[int, int] = {}
-    for seq in range(1, count + 1):
-        due = t0 + int((0.05 + (seq - 1) * interval) * NANOSECONDS)
-        send_times[seq] = due
-        probe = IPv4Packet(
-            src=endpoint_ip, dst=destination, proto=PROTO_ICMP,
-            payload=IcmpMessage.echo_request(
-                ident, seq, payload=b"\x00" * payload_size
-            ).encode(),
-        ).encode()
-        status = yield from handle.nsend(sktid, due, probe)
-        handle.expect_ok(status, "nsend")
-
-    deadline = t0 + int((0.05 + count * interval + timeout) * NANOSECONDS)
-    rtts: dict[int, float] = {}
-    while len(rtts) < count:
-        poll = yield from handle.npoll(deadline)
-        for record in poll.records:
-            parsed = _parse_reply(record.data, ident)
-            if parsed is None:
-                continue
-            seq, src = parsed
-            if src == destination and seq in send_times and seq not in rtts:
-                rtts[seq] = (record.timestamp - send_times[seq]) / NANOSECONDS
-        now = yield from handle.read_clock()
-        if now >= deadline:
-            break
-    yield from handle.nclose(sktid)
     result = PingResult(destination=destination)
-    for seq in range(1, count + 1):
+    send_times: dict[int, int] = {}
+    rtts: dict[int, float] = {}
+    try:
+        status = yield from handle.nopen_raw(sktid)
+        handle.expect_ok(status, "nopen(raw)")
+        endpoint_ip = int.from_bytes(
+            (yield from handle.mread(OFF_ADDR_IP, 4)), "big"
+        )
+        status = yield from handle.ncap(
+            sktid, 1 << 62, builtins.capture_protocol(PROTO_ICMP)
+        )
+        handle.expect_ok(status, "ncap")
+
+        # Schedule the whole probe train up front (no per-probe round trips).
+        t0 = yield from handle.read_clock()
+        for seq in range(1, count + 1):
+            due = t0 + int((0.05 + (seq - 1) * interval) * NANOSECONDS)
+            send_times[seq] = due
+            probe = IPv4Packet(
+                src=endpoint_ip, dst=destination, proto=PROTO_ICMP,
+                payload=IcmpMessage.echo_request(
+                    ident, seq, payload=b"\x00" * payload_size
+                ).encode(),
+            ).encode()
+            status = yield from handle.nsend(sktid, due, probe)
+            handle.expect_ok(status, "nsend")
+
+        deadline = t0 + int((0.05 + count * interval + timeout) * NANOSECONDS)
+        while len(rtts) < count:
+            poll = yield from handle.npoll(deadline)
+            for record in poll.records:
+                parsed = _parse_reply(record.data, ident)
+                if parsed is None:
+                    continue
+                seq, src = parsed
+                if src == destination and seq in send_times and seq not in rtts:
+                    rtts[seq] = (
+                        record.timestamp - send_times[seq]
+                    ) / NANOSECONDS
+            now = yield from handle.read_clock()
+            if now >= deadline:
+                break
+    except _RECOVERABLE as exc:
+        # Partial result: probes scheduled before the failure still count.
+        result.partial = True
+        result.error = f"{type(exc).__name__}: {exc}"
+    try:
+        if not handle.closed:
+            yield from handle.nclose(sktid)
+    except _RECOVERABLE:
+        pass
+    for seq in sorted(send_times):
         result.probes.append(PingProbe(seq=seq, rtt=rtts.get(seq)))
     return result
 

@@ -16,7 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
-from repro.controller.client import EndpointHandle
+from repro.controller.client import (
+    CommandError,
+    EndpointHandle,
+    RpcTimeout,
+    SessionClosed,
+)
 from repro.endpoint.memory import OFF_ADDR_IP
 from repro.filtervm import builtins
 from repro.netsim.clock import NANOSECONDS
@@ -29,6 +34,8 @@ from repro.packet.ipv4 import IPv4Packet, PROTO_ICMP
 from repro.util.byteio import DecodeError
 
 MAX_TTL = 40
+
+_RECOVERABLE = (SessionClosed, RpcTimeout, CommandError)
 
 
 @dataclass
@@ -44,6 +51,10 @@ class TracerouteResult:
     destination: int
     hops: list[TracerouteHop] = field(default_factory=list)
     reached: bool = False
+    # Graceful degradation under faults: the hops gathered before the
+    # session/command failure are still reported.
+    partial: bool = False
+    error: Optional[str] = None
 
     def responder_path(self) -> list[Optional[int]]:
         return [hop.responder for hop in self.hops]
@@ -63,38 +74,51 @@ def traceroute(
     All timestamps are endpoint-clock values, exactly as the paper
     specifies; the controller never needs synchronized time.
     """
-    status = yield from handle.nopen_raw(sktid)
-    handle.expect_ok(status, "nopen(raw)")
-    endpoint_ip = int.from_bytes((yield from handle.mread(OFF_ADDR_IP, 4)), "big")
-    # Capture ICMP for the whole run.
-    far_future = (1 << 62)
-    status = yield from handle.ncap(
-        sktid, far_future, builtins.capture_protocol(PROTO_ICMP)
-    )
-    handle.expect_ok(status, "ncap")
-
     result = TracerouteResult(destination=destination)
-    for ttl in range(1, max_ttl + 1):
-        t0 = yield from handle.read_clock()
-        t_snd = t0 + int(lead_time * NANOSECONDS)
-        probe = IPv4Packet(
-            src=endpoint_ip,
-            dst=destination,
-            proto=PROTO_ICMP,
-            payload=IcmpMessage.echo_request(
-                ident, ttl, payload=ttl.to_bytes(2, "big")
-            ).encode(),
-            ttl=ttl,
-        ).encode()
-        status = yield from handle.nsend(sktid, t_snd, probe)
-        handle.expect_ok(status, "nsend")
-        deadline = t_snd + int(per_hop_timeout * NANOSECONDS)
-        hop = yield from _await_hop(handle, ttl, ident, destination, t_snd, deadline)
-        result.hops.append(hop)
-        if hop.reached_destination:
-            result.reached = True
-            break
-    yield from handle.nclose(sktid)
+    try:
+        status = yield from handle.nopen_raw(sktid)
+        handle.expect_ok(status, "nopen(raw)")
+        endpoint_ip = int.from_bytes(
+            (yield from handle.mread(OFF_ADDR_IP, 4)), "big"
+        )
+        # Capture ICMP for the whole run.
+        far_future = (1 << 62)
+        status = yield from handle.ncap(
+            sktid, far_future, builtins.capture_protocol(PROTO_ICMP)
+        )
+        handle.expect_ok(status, "ncap")
+
+        for ttl in range(1, max_ttl + 1):
+            t0 = yield from handle.read_clock()
+            t_snd = t0 + int(lead_time * NANOSECONDS)
+            probe = IPv4Packet(
+                src=endpoint_ip,
+                dst=destination,
+                proto=PROTO_ICMP,
+                payload=IcmpMessage.echo_request(
+                    ident, ttl, payload=ttl.to_bytes(2, "big")
+                ).encode(),
+                ttl=ttl,
+            ).encode()
+            status = yield from handle.nsend(sktid, t_snd, probe)
+            handle.expect_ok(status, "nsend")
+            deadline = t_snd + int(per_hop_timeout * NANOSECONDS)
+            hop = yield from _await_hop(
+                handle, ttl, ident, destination, t_snd, deadline
+            )
+            result.hops.append(hop)
+            if hop.reached_destination:
+                result.reached = True
+                break
+    except _RECOVERABLE as exc:
+        # Partial result: keep the hops discovered before the failure.
+        result.partial = True
+        result.error = f"{type(exc).__name__}: {exc}"
+    try:
+        if not handle.closed:
+            yield from handle.nclose(sktid)
+    except _RECOVERABLE:
+        pass
     return result
 
 

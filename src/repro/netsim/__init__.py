@@ -8,6 +8,7 @@ packet dynamics.
 """
 
 from repro.netsim.clock import HostClock
+from repro.netsim.faults import DirectionFaults, FaultPlan
 from repro.netsim.kernel import Event, Process, Queue, SimError, Simulator, all_of, any_of
 from repro.netsim.links import Link, LinkDirection, LinkStats
 from repro.netsim.nat import NatBox, natted_topology
@@ -16,7 +17,9 @@ from repro.netsim.topology import Network, access_topology, describe, linear_top
 from repro.netsim.trace import PacketTrace, TraceRecord
 
 __all__ = [
+    "DirectionFaults",
     "Event",
+    "FaultPlan",
     "HostClock",
     "Interface",
     "Link",

@@ -1,0 +1,309 @@
+"""Seeded, deterministic fault injection for the simulated network.
+
+A :class:`FaultPlan` describes adversity — link outage windows, per-link
+corruption/duplication/reordering probabilities, endpoint
+crash-and-restart, rendezvous server restarts — and arms it on a
+simulator. Everything is driven by the simulator clock and a single
+``random.Random(seed)``, so two runs with the same plan, seed, and
+workload produce bit-identical schedules and bit-identical ``fault.*``
+event traces on ``sim.obs``.
+
+Design notes:
+
+- Links keep a ``faults`` slot that is ``None`` by default; the hot
+  transmit path pays one attribute load and a branch when no plan is
+  armed (same discipline as the observability guards).
+- "Corruption" is modeled as consume-link-time-then-discard: the frame
+  occupies the link exactly as a real transmission would, then is
+  dropped, which is transport-equivalent to a checksum rejection at the
+  receiver without manufacturing undecodable packet objects.
+- Component faults (endpoint crash, rendezvous restart) only schedule
+  calls into the components' own ``crash``/``restart``/``stop`` hooks;
+  the recovery behavior lives with the component, the *timing* lives
+  here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from repro.netsim.kernel import Simulator
+from repro.netsim.links import Link, LinkDirection
+
+if TYPE_CHECKING:
+    from repro.endpoint.endpoint import Endpoint
+    from repro.rendezvous.server import RendezvousServer
+
+LinkLike = Union[Link, LinkDirection]
+
+
+class DirectionFaults:
+    """Mutable fault state consulted by ``LinkDirection.transmit``.
+
+    ``down`` is a nesting counter so overlapping outage windows compose;
+    the probability fields are set/cleared by impairment window timers.
+    """
+
+    __slots__ = (
+        "plan",
+        "down",
+        "corrupt_prob",
+        "duplicate_prob",
+        "reorder_prob",
+        "reorder_delay",
+    )
+
+    def __init__(self, plan: "FaultPlan") -> None:
+        self.plan = plan
+        self.down = 0
+        self.corrupt_prob = 0.0
+        self.duplicate_prob = 0.0
+        self.reorder_prob = 0.0
+        self.reorder_delay = 0.0
+
+    @property
+    def rng(self) -> random.Random:
+        return self.plan.rng
+
+
+class FaultPlan:
+    """A deterministic schedule of network and component faults.
+
+    Describe faults with :meth:`link_outage`, :meth:`link_impairment`,
+    :meth:`endpoint_crash`, and :meth:`rendezvous_restart`, then arm the
+    plan with :meth:`install`. Faults described after installation are
+    armed immediately.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._sim: Optional[Simulator] = None
+        self._pending: list = []  # deferred (callable, args) until install
+        self.faults_injected = 0
+
+    # -- plumbing -------------------------------------------------------------
+
+    def install(self, sim: Simulator) -> "FaultPlan":
+        """Arm the plan on a simulator; idempotent for the same simulator."""
+        if self._sim is sim:
+            return self
+        if self._sim is not None:
+            raise RuntimeError("FaultPlan is already installed on a simulator")
+        self._sim = sim
+        pending, self._pending = self._pending, []
+        for arm, args in pending:
+            arm(*args)
+        return self
+
+    @property
+    def installed(self) -> bool:
+        return self._sim is not None
+
+    def _arm(self, arm, *args) -> None:
+        if self._sim is None:
+            self._pending.append((arm, args))
+        else:
+            arm(*args)
+
+    def _emit(self, name: str, **fields) -> None:
+        assert self._sim is not None
+        obs = self._sim.obs
+        if obs.enabled:
+            obs.counter(f"fault.{name.replace('-', '_')}").inc()
+            obs.emit("fault", name, **fields)
+
+    def note_packet_fault(self, name: str, direction: LinkDirection,
+                          packet) -> None:
+        """Per-packet fault accounting (called from the link layer)."""
+        self.faults_injected += 1
+        obs = direction._sim.obs
+        if obs.enabled:
+            obs.counter(f"fault.{name.replace('-', '_')}",
+                        link=direction.name).inc()
+            obs.emit(
+                "fault", name, link=direction.name, proto=packet.proto,
+                src=packet.src, dst=packet.dst, size=packet.total_length,
+            )
+
+    @staticmethod
+    def _directions(link: LinkLike, direction: str) -> Iterable[LinkDirection]:
+        if isinstance(link, LinkDirection):
+            return (link,)
+        if direction == "both":
+            return (link.forward, link.reverse)
+        if direction == "forward":
+            return (link.forward,)
+        if direction == "reverse":
+            return (link.reverse,)
+        raise ValueError(f"unknown direction {direction!r}")
+
+    def _state_for(self, direction: LinkDirection) -> DirectionFaults:
+        state = direction.faults
+        if state is None:
+            state = DirectionFaults(self)
+            direction.faults = state
+        elif state.plan is not self:
+            raise RuntimeError(
+                f"link {direction.name} is already driven by another FaultPlan"
+            )
+        return state
+
+    # -- link faults ----------------------------------------------------------
+
+    def link_outage(self, link: LinkLike, start: float, duration: float,
+                    direction: str = "both") -> "FaultPlan":
+        """Take ``link`` down for ``[start, start+duration)`` sim seconds.
+
+        Packets offered to a downed direction are dropped before they
+        consume any link time. Overlapping windows nest.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        states = [self._state_for(d) for d in self._directions(link, direction)]
+
+        def arm() -> None:
+            sim = self._sim
+            assert sim is not None
+
+            def begin() -> None:
+                for state in states:
+                    state.down += 1
+                self.faults_injected += 1
+                self._emit("link-down",
+                           links=[d.name for d in
+                                  self._directions(link, direction)],
+                           until=start + duration)
+
+            def end() -> None:
+                for state in states:
+                    state.down -= 1
+                self._emit("link-up",
+                           links=[d.name for d in
+                                  self._directions(link, direction)])
+
+            sim.schedule_at(start, begin)
+            sim.schedule_at(start + duration, end)
+
+        self._arm(arm)
+        return self
+
+    def link_impairment(
+        self,
+        link: LinkLike,
+        corrupt: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        reorder_delay: float = 0.05,
+        start: float = 0.0,
+        duration: Optional[float] = None,
+        direction: str = "both",
+    ) -> "FaultPlan":
+        """Impair ``link`` with per-packet fault probabilities.
+
+        ``corrupt`` drops the frame after it has consumed its link time
+        (checksum-failure analog); ``duplicate`` delivers a back-to-back
+        second copy; ``reorder`` holds a packet back ``reorder_delay``
+        seconds so later packets overtake it. Active from ``start`` for
+        ``duration`` seconds (forever when ``duration`` is None).
+        """
+        for prob in (corrupt, duplicate, reorder):
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"probability out of range: {prob}")
+        states = [self._state_for(d) for d in self._directions(link, direction)]
+
+        def arm() -> None:
+            sim = self._sim
+            assert sim is not None
+
+            def begin() -> None:
+                for state in states:
+                    state.corrupt_prob = corrupt
+                    state.duplicate_prob = duplicate
+                    state.reorder_prob = reorder
+                    state.reorder_delay = reorder_delay
+                self._emit("impairment-on",
+                           links=[d.name for d in
+                                  self._directions(link, direction)],
+                           corrupt=corrupt, duplicate=duplicate,
+                           reorder=reorder)
+
+            def end() -> None:
+                for state in states:
+                    state.corrupt_prob = 0.0
+                    state.duplicate_prob = 0.0
+                    state.reorder_prob = 0.0
+                self._emit("impairment-off",
+                           links=[d.name for d in
+                                  self._directions(link, direction)])
+
+            sim.schedule_at(start, begin)
+            if duration is not None:
+                sim.schedule_at(start + duration, end)
+
+        self._arm(arm)
+        return self
+
+    # -- component faults -----------------------------------------------------
+
+    def endpoint_crash(self, endpoint: "Endpoint", at: float,
+                       downtime: Optional[float] = None) -> "FaultPlan":
+        """Crash ``endpoint`` at ``at``; restart it after ``downtime``.
+
+        A crash severs every control connection mid-stream (no FIN — the
+        peer sees a reset) and discards all session state, exactly the
+        churn a real deployment's endpoints exhibit. With ``downtime``
+        None the endpoint stays down.
+        """
+
+        def arm() -> None:
+            sim = self._sim
+            assert sim is not None
+
+            def crash() -> None:
+                self.faults_injected += 1
+                self._emit("endpoint-crash", endpoint=endpoint.config.name,
+                           sessions=len(endpoint.sessions))
+                endpoint.crash()
+
+            sim.schedule_at(at, crash)
+            if downtime is not None:
+
+                def restart() -> None:
+                    self._emit("endpoint-restart",
+                               endpoint=endpoint.config.name)
+                    endpoint.restart()
+
+                sim.schedule_at(at + downtime, restart)
+
+        self._arm(arm)
+        return self
+
+    def rendezvous_restart(self, server: "RendezvousServer", at: float,
+                           downtime: float = 1.0) -> "FaultPlan":
+        """Restart a rendezvous server: down at ``at``, back after
+        ``downtime``. Stored experiments survive (rendezvous servers are
+        the persistent infrastructure, §3.2); live subscriptions are
+        severed and must be re-established by endpoints."""
+
+        def arm() -> None:
+            sim = self._sim
+            assert sim is not None
+
+            def stop() -> None:
+                self.faults_injected += 1
+                self._emit("rendezvous-down", port=server.port,
+                           subscribers=len(server.subscribers))
+                server.stop()
+
+            def restart() -> None:
+                self._emit("rendezvous-up", port=server.port,
+                           experiments=len(server.experiments))
+                server.restart()
+
+            sim.schedule_at(at, stop)
+            sim.schedule_at(at + downtime, restart)
+
+        self._arm(arm)
+        return self

@@ -28,6 +28,7 @@ from repro.netsim.kernel import Simulator
 from repro.packet.ipv4 import IPv4Packet
 
 if TYPE_CHECKING:
+    from repro.netsim.faults import DirectionFaults
     from repro.netsim.node import Interface
 
 # Fixed per-packet link-layer overhead (approximates an Ethernet header).
@@ -41,6 +42,7 @@ _OUTCOME_METRIC = {
     "delivered": "delivered",
     "drop-queue": "dropped_queue",
     "drop-loss": "dropped_loss",
+    "drop-fault": "dropped_fault",
 }
 
 
@@ -52,6 +54,7 @@ class LinkStats:
     bytes_sent: int = 0
     packets_dropped_queue: int = 0
     packets_dropped_loss: int = 0
+    packets_dropped_fault: int = 0
 
 
 class LinkDirection:
@@ -87,6 +90,9 @@ class LinkDirection:
         self.stats = LinkStats()
         self._observers: list[LinkObserver] = []
         self._obs = sim.obs
+        # Armed by repro.netsim.faults.FaultPlan; None keeps the hot
+        # transmit path at one attribute load + branch.
+        self.faults: Optional["DirectionFaults"] = None
 
     def add_observer(self, observer: LinkObserver) -> LinkObserver:
         """Register a ground-truth observer for this direction.
@@ -141,6 +147,14 @@ class LinkDirection:
             raise RuntimeError(f"link direction {self.name} not attached")
         size = packet.total_length + LINK_OVERHEAD_BYTES
         watched = self._observers or self._obs.enabled
+        faults = self.faults
+        if faults is not None and faults.down > 0:
+            # Link outage window: the frame never reaches the wire.
+            self.stats.packets_dropped_fault += 1
+            faults.plan.note_packet_fault("packet-outage-drop", self, packet)
+            if watched:
+                self._notify(packet, "drop-fault")
+            return False
         if self.backlog_bytes() + size > self.queue_bytes:
             self.stats.packets_dropped_queue += 1
             if watched:
@@ -155,10 +169,37 @@ class LinkDirection:
             if watched:
                 self._notify(packet, "drop-loss")
             return True  # consumed link time, but lost in flight
+        if (
+            faults is not None
+            and faults.corrupt_prob > 0
+            and faults.rng.random() < faults.corrupt_prob
+        ):
+            # Corruption: the frame occupies the link, then fails its
+            # checksum at the receiver — consume link time and discard.
+            self.stats.packets_dropped_fault += 1
+            faults.plan.note_packet_fault("packet-corrupted", self, packet)
+            if watched:
+                self._notify(packet, "drop-fault")
+            return True
         arrival = self._busy_until + self.delay
         if self.jitter > 0:
             # Uniform per-packet jitter; may reorder packets (realistic).
             arrival += self._rng.uniform(0.0, self.jitter)
+        if faults is not None:
+            if (
+                faults.reorder_prob > 0
+                and faults.rng.random() < faults.reorder_prob
+            ):
+                # Hold this packet back so later ones overtake it.
+                arrival += faults.reorder_delay
+                faults.plan.note_packet_fault("packet-reordered", self, packet)
+            if (
+                faults.duplicate_prob > 0
+                and faults.rng.random() < faults.duplicate_prob
+            ):
+                # A back-to-back second copy of the frame.
+                faults.plan.note_packet_fault("packet-duplicated", self, packet)
+                self._sim.schedule_at(arrival + tx_time, self._deliver, packet)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += size
         if watched:

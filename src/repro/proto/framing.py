@@ -29,9 +29,16 @@ class MessageStream:
         self.messages_sent = 0
         self.messages_received = 0
         self.bytes_sent = 0
+        self.bytes_received = 0
 
     def send(self, message: Message) -> Generator:
         payload = message.encode()
+        if len(payload) > MAX_FRAME:
+            # Enforced symmetrically with recv(): a frame the peer is
+            # guaranteed to reject must never be put on the wire.
+            raise FramingError(
+                f"frame of {len(payload)} bytes exceeds limit"
+            )
         frame = len(payload).to_bytes(4, "big") + payload
         self.messages_sent += 1
         self.bytes_sent += len(frame)
@@ -48,6 +55,7 @@ class MessageStream:
         body = yield from self._recv_exactly(length)
         if body is None:
             raise FramingError("connection closed mid-frame")
+        self.bytes_received += 4 + length
         try:
             message = decode_message(body)
         except DecodeError as exc:

@@ -59,12 +59,52 @@ class RendezvousServer:
         self.publications_accepted = 0
         self.publications_rejected = 0
         self.experiments_delivered = 0
+        self.restarts = 0
+        self.running = False
         self._listener = None
+        self._accept_proc = None
 
     def start(self) -> "RendezvousServer":
         self._listener = self.node.tcp.listen(self.port)
-        self.node.spawn(self._accept_loop(), name="rdz-accept")
+        self._accept_proc = self.node.spawn(self._accept_loop(), name="rdz-accept")
+        self.running = True
         return self
+
+    def stop(self) -> None:
+        """Go down hard: sever every subscriber, stop accepting.
+
+        Stored experiments survive — the rendezvous server is the
+        persistent infrastructure (§3.2), and a restart replays them to
+        resubscribing endpoints.
+        """
+        if not self.running:
+            return
+        self.running = False
+        if self._accept_proc is not None:
+            self._accept_proc.kill()
+            self._accept_proc = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        for subscriber in list(self.subscribers):
+            subscriber.alive = False
+            subscriber.outbox.put(None)
+            subscriber.stream.conn.abort()
+        self.subscribers.clear()
+        if self._obs.enabled:
+            self._obs.gauge("rendezvous.subscribers").set(0)
+            self._obs.emit("rendezvous", "stopped", port=self.port)
+
+    def restart(self) -> "RendezvousServer":
+        """Come back up on the same port with stored experiments intact."""
+        if self.running:
+            return self
+        self.restarts += 1
+        if self._obs.enabled:
+            self._obs.counter("rendezvous.restarts").inc()
+            self._obs.emit("rendezvous", "restarted", port=self.port,
+                           experiments=len(self.experiments))
+        return self.start()
 
     def _accept_loop(self) -> Generator:
         while True:

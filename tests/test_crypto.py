@@ -114,11 +114,28 @@ class TestRestrictions:
         assert decoded.is_empty()
 
     def test_validity_window(self):
+        # The window is [not_before, not_after): inclusive start,
+        # exclusive end.
         restrictions = Restrictions(not_before=10.0, not_after=20.0)
         assert not restrictions.valid_at(5.0)
         assert restrictions.valid_at(10.0)
-        assert restrictions.valid_at(20.0)
+        assert restrictions.valid_at(19.999999)
+        assert not restrictions.valid_at(20.0)
         assert not restrictions.valid_at(25.0)
+
+    def test_validity_boundaries_abut_without_overlap_or_gap(self):
+        # Two certificates whose windows abut at t=20 hand over cleanly:
+        # every instant is covered by exactly one of them.
+        first = Restrictions(not_before=10.0, not_after=20.0)
+        second = Restrictions(not_before=20.0, not_after=30.0)
+        for now in (10.0, 15.0, 19.999, 20.0, 25.0, 29.999):
+            assert first.valid_at(now) != second.valid_at(now)
+
+    def test_validity_open_ended(self):
+        assert Restrictions(not_before=10.0).valid_at(1e12)
+        assert Restrictions(not_after=10.0).valid_at(0.0)
+        assert not Restrictions(not_after=10.0).valid_at(10.0)
+        assert Restrictions().valid_at(123.0)
 
     def test_merge_takes_tightest(self):
         a = Restrictions(not_before=5.0, not_after=100.0, buffer_limit=1000,
@@ -220,6 +237,24 @@ class TestChain:
         chain.verify({self.operator.key_id}, self.descriptor_hash, now=50.0)
         with pytest.raises(ChainError, match="expired"):
             chain.verify({self.operator.key_id}, self.descriptor_hash, now=150.0)
+
+    def test_chain_boundary_instants(self):
+        """Chain validation uses the same [not_before, not_after) rule as
+        single certificates: valid at the exact start instant, invalid at
+        the exact expiry instant."""
+        chain = build_delegated_chain(
+            self.operator,
+            self.experimenter,
+            self.descriptor_hash,
+            delegation_restrictions=Restrictions(not_before=10.0,
+                                                 not_after=100.0),
+        )
+        with pytest.raises(ChainError, match="expired or not yet valid"):
+            chain.verify({self.operator.key_id}, self.descriptor_hash, now=9.999)
+        chain.verify({self.operator.key_id}, self.descriptor_hash, now=10.0)
+        chain.verify({self.operator.key_id}, self.descriptor_hash, now=99.999)
+        with pytest.raises(ChainError, match="expired or not yet valid"):
+            chain.verify({self.operator.key_id}, self.descriptor_hash, now=100.0)
 
     def test_multi_level_delegation(self):
         group_lead = KeyPair.from_name("group-lead")
