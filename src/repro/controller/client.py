@@ -19,6 +19,7 @@ from repro.netsim.kernel import Event, Queue, any_of
 from repro.netsim.node import Node
 from repro.netsim.stack.tcp import TcpError
 from repro.proto.constants import (
+    ERR_MONITOR_REJECTED,
     SOCK_RAW,
     SOCK_TCP,
     SOCK_UDP,
@@ -123,6 +124,9 @@ class EndpointHandle:
         self.notifications: list[Message] = []
         # Records pushed by a streaming-mode endpoint (reqid-0 PollData).
         self.streamed_records: list = []
+        # Verifier report from the most recent ncap the endpoint rejected
+        # with ERR_MONITOR_REJECTED (None until that happens).
+        self.last_verifier_report: Optional[str] = None
         node.spawn(self._reader_loop(), name="ctl-reader")
         node.spawn(self._writer_loop(), name="ctl-writer")
 
@@ -283,6 +287,12 @@ class EndpointHandle:
         response = yield from self._request(
             NCap(reqid=reqid, sktid=sktid, time=time_ticks, filt=program), reqid
         )
+        if response.status == ERR_MONITOR_REJECTED:
+            # The endpoint's static verifier refused the filter; keep the
+            # report so the experimenter sees *why* instead of a bare code.
+            self.last_verifier_report = response.payload.decode(
+                "utf-8", "replace"
+            )
         return response.status
 
     def npoll(self, time_ticks: int) -> Generator:
@@ -351,6 +361,9 @@ class ControllerServer:
         self.rpc_timeout = rpc_timeout
         self.endpoints: Queue = node.sim.queue(name="controller-endpoints")
         self.auth_failures: list[str] = []
+        # Verifier reports from endpoints that rejected a certificate
+        # monitor at session setup (AuthFail.code == ERR_MONITOR_REJECTED).
+        self.monitor_rejections: list[str] = []
         self._listener = None
         self._accept_proc = None
 
@@ -402,6 +415,10 @@ class ControllerServer:
             self.endpoints.put(handle)
         elif isinstance(response, AuthFail):
             self.auth_failures.append(response.reason)
+            if response.code == ERR_MONITOR_REJECTED:
+                self.monitor_rejections.append(
+                    response.report or response.reason
+                )
             conn.close()
         else:
             conn.close()

@@ -20,7 +20,9 @@ import sys
 from repro.cpf.codegen import CpfCompileError
 from repro.cpf.compiler import compile_cpf
 from repro.cpf.lexer import CpfSyntaxError
+from repro.cpf.lint import lint_source
 from repro.filtervm import BytesInfo, FilterVM, disassemble
+from repro.filtervm.verify import verify
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,6 +35,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the serialized program to this file")
     parser.add_argument("--disasm", action="store_true",
                         help="print the compiled program's assembly listing")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the bytecode verifier and source lint; "
+                        "exit 1 if the verifier rejects the program")
     parser.add_argument("--run", metavar="ENTRY",
                         help="invoke an entry point (send/recv/init)")
     parser.add_argument("--packet", default="",
@@ -67,6 +72,14 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.output, "wb") as handle:
             handle.write(encoded)
         print(f"wrote {args.output}")
+    if args.verify:
+        print()
+        for diagnostic in lint_source(source):
+            print(diagnostic.render(args.source))
+        report = verify(program)
+        print(report.render())
+        if not report.ok:
+            return 1
     if args.disasm:
         print()
         print(disassemble(program))

@@ -27,7 +27,6 @@ from repro.cpf.types import (
     I32,
     I64,
     IntType,
-    Member,
     PointerType,
     StructType,
     U64,
@@ -228,13 +227,46 @@ class CodeGen:
                 space = self._pointer_space(param_type, node.line)
                 self._param_spaces[param_name] = space
             self._scopes[0][param_name] = (slot, param_type)
+        start = len(self._code)
         if prepend_init:
             self._emit_init_stores(prepend_init)
         self._compile_stmt(node.body)
-        # Implicit return 0 if control can fall off the end.
-        self._emit(Op.PUSH, 0)
-        self._emit(Op.RET)
+        # Implicit return 0, only when some path can actually fall off the
+        # end of the body (a body ending in return on every path would
+        # otherwise grow a dead PUSH/RET tail).
+        if self._falls_through(start):
+            self._emit(Op.PUSH, 0)
+            self._emit(Op.RET)
         return self._n_locals
+
+    def _falls_through(self, start: int) -> bool:
+        """Whether control can reach ``len(self._code)`` from ``start``.
+
+        Conservative reachability over the instructions emitted for the
+        current function; jump operands are already absolute indices (loop
+        exit jumps may legitimately target the not-yet-emitted tail).
+        """
+        end = len(self._code)
+        seen: set[int] = set()
+        stack = [start]
+        while stack:
+            pc = stack.pop()
+            if pc >= end:
+                return True
+            if pc in seen or pc < start:
+                continue
+            seen.add(pc)
+            instruction = self._code[pc]
+            if instruction.op == Op.RET:
+                continue
+            if instruction.op == Op.JMP:
+                stack.append(instruction.operand)
+            elif instruction.op in (Op.JZ, Op.JNZ):
+                stack.append(instruction.operand)
+                stack.append(pc + 1)
+            else:
+                stack.append(pc + 1)
+        return False
 
     def _pointer_space(self, pointer: PointerType, line: int) -> str:
         target = pointer.target
@@ -318,12 +350,17 @@ class CodeGen:
     def _compile_if(self, stmt: ast.If) -> None:
         self._compile_expr(stmt.condition)
         else_jump = self._emit_placeholder(Op.JZ)
+        then_start = len(self._code)
         self._compile_stmt(stmt.then_body)
         if stmt.else_body is not None:
-            end_jump = self._emit_placeholder(Op.JMP)
+            # Skip the join jump when the then-branch always returns: it
+            # would be dead code, and could target one-past-the-end.
+            end_jump = (self._emit_placeholder(Op.JMP)
+                        if self._falls_through(then_start) else None)
             self._patch(else_jump, len(self._code))
             self._compile_stmt(stmt.else_body)
-            self._patch(end_jump, len(self._code))
+            if end_jump is not None:
+                self._patch(end_jump, len(self._code))
         else:
             self._patch(else_jump, len(self._code))
 

@@ -1,0 +1,463 @@
+"""Cpf compile-time lint: source-level diagnostics the verifier can't give.
+
+The bytecode verifier (``repro.filtervm.verify``) judges the *compiled*
+program; by then variable names and statement structure are gone. This pass
+walks the AST and reports what only the source can show:
+
+- **unused-variable** — a local declared but never read (the paper's own
+  Figure 2 has the famous variant of this: a store that can never run),
+- **unused-function** — a function no entry point ever calls,
+- **unreachable-statement** — statements after a ``return``/``break``/
+  ``continue`` (or after an ``if``/``else`` whose branches all terminate),
+- **loop-no-progress** — a ``while``/``for`` whose condition can't be
+  changed by its body (constant-true with no escape, or no variable of the
+  condition is assigned inside). The VM's fuel limit will abort such a
+  loop at runtime, turning every verdict into deny — worth a warning at
+  compile time.
+
+Diagnostics are structured (:class:`Diagnostic` with severity, rule code,
+message, and source span) so tools can format or filter them; ``render``
+produces the conventional ``file:line: warning[code]: message`` form.
+
+Usage::
+
+    diagnostics = lint_source(source_text)
+    python -m repro.cpf monitor.c --verify   # compiles, verifies, lints
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.cpf import ast
+from repro.cpf.parser import parse
+from repro.cpf.stdlib import prelude
+from repro.filtervm.vm import DEFAULT_FUEL
+
+ENTRY_NAMES = ("send", "recv", "init")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored to a source line."""
+
+    severity: str  # "warning" (lint never blocks compilation)
+    code: str
+    message: str
+    line: int
+    function: str = ""
+
+    def render(self, filename: str = "<cpf>") -> str:
+        where = f" (in {self.function})" if self.function else ""
+        return (f"{filename}:{self.line}: {self.severity}[{self.code}]: "
+                f"{self.message}{where}")
+
+
+def lint_source(source: str) -> list[Diagnostic]:
+    """Parse (with the standard prelude) and lint Cpf source text."""
+    struct_tags, typedefs, constants = prelude()
+    program = parse(source, struct_tags=struct_tags, typedefs=typedefs,
+                    constants=constants)
+    return lint_program(program)
+
+
+def lint_program(program: ast.Program) -> list[Diagnostic]:
+    linter = _Linter(program)
+    linter.run()
+    linter.diagnostics.sort(key=lambda d: (d.line, d.code))
+    return linter.diagnostics
+
+
+class _Linter:
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.diagnostics: list[Diagnostic] = []
+
+    def warn(self, code: str, message: str, line: int,
+             function: str = "") -> None:
+        self.diagnostics.append(
+            Diagnostic("warning", code, message, line, function)
+        )
+
+    def run(self) -> None:
+        for function in self.program.functions:
+            self.lint_function(function)
+        self.check_unused_functions()
+
+    # -- unused functions ---------------------------------------------------
+
+    def check_unused_functions(self) -> None:
+        calls: dict[str, set[str]] = {}
+        for function in self.program.functions:
+            names: set[str] = set()
+            _collect_calls(function.body, names)
+            calls[function.name] = names
+        live = {name for name in ENTRY_NAMES
+                if any(f.name == name for f in self.program.functions)}
+        worklist = list(live)
+        while worklist:
+            name = worklist.pop()
+            for callee in calls.get(name, ()):
+                if callee not in live:
+                    live.add(callee)
+                    worklist.append(callee)
+        for function in self.program.functions:
+            if function.name not in live:
+                self.warn(
+                    "unused-function",
+                    f"function {function.name!r} is never called from an "
+                    "entry point",
+                    function.line, function.name,
+                )
+
+    # -- per-function checks ------------------------------------------------
+
+    def lint_function(self, function: ast.FunctionDef) -> None:
+        self.check_unused_variables(function)
+        self.check_unreachable(function.body, function.name)
+        self.check_loops(function.body, function.name)
+
+    def check_unused_variables(self, function: ast.FunctionDef) -> None:
+        declared: dict[str, ast.VarDecl] = {}
+        _collect_decls(function.body, declared)
+        read: set[str] = set()
+        _collect_reads(function.body, read)
+        for name, decl in declared.items():
+            if name not in read:
+                self.warn(
+                    "unused-variable",
+                    f"local {name!r} is declared but its value is never "
+                    "read",
+                    decl.line, function.name,
+                )
+
+    def check_unreachable(self, stmt: ast.Stmt, function: str) -> None:
+        """Flag statements that follow a terminating statement."""
+        if isinstance(stmt, ast.Block):
+            terminated_at: Optional[int] = None
+            for inner in stmt.statements:
+                if terminated_at is not None:
+                    self.warn(
+                        "unreachable-statement",
+                        "statement can never execute (control already "
+                        f"left the block at line {terminated_at})",
+                        inner.line, function,
+                    )
+                    continue  # one warning per dead statement, no descent
+                self.check_unreachable(inner, function)
+                if _terminates(inner):
+                    terminated_at = inner.line
+        elif isinstance(stmt, ast.If):
+            self.check_unreachable(stmt.then_body, function)
+            if stmt.else_body is not None:
+                self.check_unreachable(stmt.else_body, function)
+        elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+            self.check_unreachable(stmt.body, function)
+
+    def check_loops(self, stmt: ast.Stmt, function: str) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self.check_loops(inner, function)
+        elif isinstance(stmt, ast.If):
+            self.check_loops(stmt.then_body, function)
+            if stmt.else_body is not None:
+                self.check_loops(stmt.else_body, function)
+        elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+            self.check_one_loop(stmt, function)
+            self.check_loops(stmt.body, function)
+
+    def check_one_loop(
+        self, stmt: Union[ast.While, ast.DoWhile, ast.For], function: str
+    ) -> None:
+        condition = stmt.condition  # Optional only on For
+        escapes = _has_escape(stmt.body)
+        if condition is None or _is_constant_true(condition):
+            if not escapes:
+                self.warn(
+                    "loop-no-progress",
+                    "loop condition is always true and the body has no "
+                    "break/return; the VM aborts the invocation after "
+                    f"{DEFAULT_FUEL} fuel and denies the packet",
+                    stmt.line, function,
+                )
+            return
+        if escapes:
+            return
+        condition_vars: set[str] = set()
+        if not _collect_condition_vars(condition, condition_vars):
+            return  # condition reads memory/calls: can't reason, stay quiet
+        assigned: set[str] = set()
+        _collect_assigned(stmt.body, assigned)
+        if isinstance(stmt, ast.For) and stmt.step is not None:
+            _collect_assigned_expr(stmt.step, assigned)
+        if condition_vars and not condition_vars & assigned:
+            names = ", ".join(sorted(condition_vars))
+            self.warn(
+                "loop-no-progress",
+                f"no variable of the loop condition ({names}) is modified "
+                "in the loop body; if the condition holds once it holds "
+                f"forever, and the VM aborts after {DEFAULT_FUEL} fuel",
+                stmt.line, function,
+            )
+
+
+# ---------------------------------------------------------------------------
+# AST walking helpers
+# ---------------------------------------------------------------------------
+
+
+def _terminates(stmt: ast.Stmt) -> bool:
+    """Whether control never flows past ``stmt``."""
+    if isinstance(stmt, (ast.Return, ast.Break, ast.Continue)):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_terminates(inner) for inner in stmt.statements)
+    if isinstance(stmt, ast.If):
+        return (stmt.else_body is not None
+                and _terminates(stmt.then_body)
+                and _terminates(stmt.else_body))
+    if isinstance(stmt, (ast.While, ast.For)):
+        condition = stmt.condition
+        return ((condition is None or _is_constant_true(condition))
+                and not _has_escape(stmt.body))
+    if isinstance(stmt, ast.DoWhile):
+        return _terminates(stmt.body)
+    return False
+
+
+def _is_constant_true(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.Number) and expr.value != 0
+
+
+def _has_escape(stmt: ast.Stmt) -> bool:
+    """Whether ``stmt`` contains a break/return leaving the current loop."""
+    if isinstance(stmt, (ast.Break, ast.Return)):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_has_escape(inner) for inner in stmt.statements)
+    if isinstance(stmt, ast.If):
+        return _has_escape(stmt.then_body) or (
+            stmt.else_body is not None and _has_escape(stmt.else_body)
+        )
+    # A break inside a nested loop stays in that loop; a return anywhere
+    # escapes, so nested loops still need a scan for Return only.
+    if isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+        return _has_return(stmt.body)
+    return False
+
+
+def _has_return(stmt: ast.Stmt) -> bool:
+    if isinstance(stmt, ast.Return):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_has_return(inner) for inner in stmt.statements)
+    if isinstance(stmt, ast.If):
+        return _has_return(stmt.then_body) or (
+            stmt.else_body is not None and _has_return(stmt.else_body)
+        )
+    if isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+        return _has_return(stmt.body)
+    return False
+
+
+def _collect_decls(stmt: ast.Stmt, out: dict[str, ast.VarDecl]) -> None:
+    if isinstance(stmt, ast.VarDecl):
+        out.setdefault(stmt.name, stmt)
+    elif isinstance(stmt, ast.Block):
+        for inner in stmt.statements:
+            _collect_decls(inner, out)
+    elif isinstance(stmt, ast.If):
+        _collect_decls(stmt.then_body, out)
+        if stmt.else_body is not None:
+            _collect_decls(stmt.else_body, out)
+    elif isinstance(stmt, (ast.While, ast.DoWhile)):
+        _collect_decls(stmt.body, out)
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            _collect_decls(stmt.init, out)
+        _collect_decls(stmt.body, out)
+
+
+def _collect_reads(node: Union[ast.Stmt, ast.Expr, None],
+                   out: set[str]) -> None:
+    """Names whose *value* is read (assignment targets don't count)."""
+    if node is None:
+        return
+    if isinstance(node, ast.Ident):
+        out.add(node.name)
+    elif isinstance(node, ast.Assign):
+        # The target of a plain `=` is written, not read; a compound
+        # `x += ...` reads the old value.
+        if node.op != "=":
+            _collect_reads(node.target, out)
+        elif not isinstance(node.target, ast.Ident):
+            _collect_reads(node.target, out)  # offset expressions are reads
+        _collect_reads(node.value, out)
+    elif isinstance(node, ast.Unary):
+        _collect_reads(node.operand, out)
+    elif isinstance(node, ast.Binary):
+        _collect_reads(node.left, out)
+        _collect_reads(node.right, out)
+    elif isinstance(node, ast.Conditional):
+        _collect_reads(node.condition, out)
+        _collect_reads(node.then_value, out)
+        _collect_reads(node.else_value, out)
+    elif isinstance(node, ast.Call):
+        for arg in node.args:
+            _collect_reads(arg, out)
+    elif isinstance(node, ast.MemberAccess):
+        _collect_reads(node.base, out)
+    elif isinstance(node, ast.Index):
+        _collect_reads(node.base, out)
+        _collect_reads(node.index, out)
+    elif isinstance(node, ast.Cast):
+        _collect_reads(node.operand, out)
+    elif isinstance(node, ast.ExprStmt):
+        _collect_reads(node.expr, out)
+    elif isinstance(node, ast.VarDecl):
+        _collect_reads(node.init, out)
+    elif isinstance(node, ast.Block):
+        for inner in node.statements:
+            _collect_reads(inner, out)
+    elif isinstance(node, ast.If):
+        _collect_reads(node.condition, out)
+        _collect_reads(node.then_body, out)
+        _collect_reads(node.else_body, out)
+    elif isinstance(node, (ast.While, ast.DoWhile)):
+        _collect_reads(node.condition, out)
+        _collect_reads(node.body, out)
+    elif isinstance(node, ast.For):
+        _collect_reads(node.init, out)
+        _collect_reads(node.condition, out)
+        _collect_reads(node.step, out)
+        _collect_reads(node.body, out)
+    elif isinstance(node, ast.Return):
+        _collect_reads(node.value, out)
+
+
+def _collect_calls(stmt: Union[ast.Stmt, ast.Expr, None],
+                   out: set[str]) -> None:
+    if stmt is None:
+        return
+    if isinstance(stmt, ast.Call):
+        out.add(stmt.name)
+        for arg in stmt.args:
+            _collect_calls(arg, out)
+    elif isinstance(stmt, ast.Block):
+        for inner in stmt.statements:
+            _collect_calls(inner, out)
+    elif isinstance(stmt, ast.ExprStmt):
+        _collect_calls(stmt.expr, out)
+    elif isinstance(stmt, ast.VarDecl):
+        _collect_calls(stmt.init, out)
+    elif isinstance(stmt, ast.If):
+        _collect_calls(stmt.condition, out)
+        _collect_calls(stmt.then_body, out)
+        _collect_calls(stmt.else_body, out)
+    elif isinstance(stmt, (ast.While, ast.DoWhile)):
+        _collect_calls(stmt.condition, out)
+        _collect_calls(stmt.body, out)
+    elif isinstance(stmt, ast.For):
+        _collect_calls(stmt.init, out)
+        _collect_calls(stmt.condition, out)
+        _collect_calls(stmt.step, out)
+        _collect_calls(stmt.body, out)
+    elif isinstance(stmt, ast.Return):
+        _collect_calls(stmt.value, out)
+    elif isinstance(stmt, ast.Assign):
+        _collect_calls(stmt.target, out)
+        _collect_calls(stmt.value, out)
+    elif isinstance(stmt, ast.Unary):
+        _collect_calls(stmt.operand, out)
+    elif isinstance(stmt, ast.Binary):
+        _collect_calls(stmt.left, out)
+        _collect_calls(stmt.right, out)
+    elif isinstance(stmt, ast.Conditional):
+        _collect_calls(stmt.condition, out)
+        _collect_calls(stmt.then_value, out)
+        _collect_calls(stmt.else_value, out)
+    elif isinstance(stmt, (ast.MemberAccess,)):
+        _collect_calls(stmt.base, out)
+    elif isinstance(stmt, ast.Index):
+        _collect_calls(stmt.base, out)
+        _collect_calls(stmt.index, out)
+    elif isinstance(stmt, ast.Cast):
+        _collect_calls(stmt.operand, out)
+
+
+def _collect_condition_vars(expr: ast.Expr, out: set[str]) -> bool:
+    """Gather plain variables a condition reads.
+
+    Returns False when the condition involves memory access or calls,
+    where "does the body change it" can't be answered name-by-name.
+    """
+    if isinstance(expr, ast.Number):
+        return True
+    if isinstance(expr, ast.Ident):
+        out.add(expr.name)
+        return True
+    if isinstance(expr, ast.Unary):
+        return _collect_condition_vars(expr.operand, out)
+    if isinstance(expr, ast.Binary):
+        return (_collect_condition_vars(expr.left, out)
+                and _collect_condition_vars(expr.right, out))
+    if isinstance(expr, ast.Cast):
+        return _collect_condition_vars(expr.operand, out)
+    if isinstance(expr, ast.Conditional):
+        return (_collect_condition_vars(expr.condition, out)
+                and _collect_condition_vars(expr.then_value, out)
+                and _collect_condition_vars(expr.else_value, out))
+    return False  # MemberAccess / Index / Call / Assign
+
+
+def _collect_assigned(stmt: ast.Stmt, out: set[str]) -> None:
+    if isinstance(stmt, ast.ExprStmt):
+        _collect_assigned_expr(stmt.expr, out)
+    elif isinstance(stmt, ast.VarDecl):
+        out.add(stmt.name)
+    elif isinstance(stmt, ast.Block):
+        for inner in stmt.statements:
+            _collect_assigned(inner, out)
+    elif isinstance(stmt, ast.If):
+        _collect_assigned_expr(stmt.condition, out)
+        _collect_assigned(stmt.then_body, out)
+        if stmt.else_body is not None:
+            _collect_assigned(stmt.else_body, out)
+    elif isinstance(stmt, (ast.While, ast.DoWhile)):
+        _collect_assigned_expr(stmt.condition, out)
+        _collect_assigned(stmt.body, out)
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            _collect_assigned(stmt.init, out)
+        _collect_assigned_expr(stmt.condition, out)
+        _collect_assigned_expr(stmt.step, out)
+        _collect_assigned(stmt.body, out)
+    elif isinstance(stmt, ast.Return):
+        _collect_assigned_expr(stmt.value, out)
+
+
+def _collect_assigned_expr(expr: Optional[ast.Expr], out: set[str]) -> None:
+    if expr is None:
+        return
+    if isinstance(expr, ast.Assign):
+        if isinstance(expr.target, ast.Ident):
+            out.add(expr.target.name)
+        _collect_assigned_expr(expr.value, out)
+    elif isinstance(expr, ast.Unary):
+        _collect_assigned_expr(expr.operand, out)
+    elif isinstance(expr, ast.Binary):
+        _collect_assigned_expr(expr.left, out)
+        _collect_assigned_expr(expr.right, out)
+    elif isinstance(expr, ast.Conditional):
+        _collect_assigned_expr(expr.condition, out)
+        _collect_assigned_expr(expr.then_value, out)
+        _collect_assigned_expr(expr.else_value, out)
+    elif isinstance(expr, ast.Call):
+        for arg in expr.args:
+            _collect_assigned_expr(arg, out)
+    elif isinstance(expr, ast.Cast):
+        _collect_assigned_expr(expr.operand, out)
+
+
+__all__ = ["Diagnostic", "lint_program", "lint_source"]

@@ -22,15 +22,10 @@ from repro.cpf.types import (
     ArrayType,
     CpfType,
     CpfTypeError,
-    I8,
-    I16,
-    I32,
-    I64,
     IntType,
     PointerType,
     StructType,
     U8,
-    U32,
     layout_struct,
 )
 

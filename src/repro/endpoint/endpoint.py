@@ -16,13 +16,19 @@ either a certificate/monitor check or a mechanical command execution.
 from __future__ import annotations
 
 import random as _random
+import time as _time
 from typing import Generator, Optional
 
 from repro.endpoint.auth import AuthError, AuthorizedExperiment, verify_auth
 from repro.endpoint.capture import CaptureBuffer
 from repro.endpoint.config import EndpointConfig
 from repro.endpoint.contention import ContentionManager
-from repro.endpoint.memory import EndpointMemory, MemoryError_, MonitorInfoView
+from repro.endpoint.memory import (
+    MEMORY_SIZE,
+    EndpointMemory,
+    MemoryError_,
+    MonitorInfoView,
+)
 from repro.endpoint.netio import (
     EndpointSocket,
     RawEndpointSocket,
@@ -31,11 +37,13 @@ from repro.endpoint.netio import (
 )
 from repro.endpoint.sendqueue import SendQueue
 from repro.filtervm.program import FilterProgram, ProgramError
+from repro.filtervm.verify import VerifierReport, verify as verify_filter
 from repro.filtervm.vm import FilterVM
 from repro.netsim.kernel import any_of
 from repro.netsim.node import Node
 from repro.netsim.stack.tcp import TcpError
 from repro.proto.constants import (
+    ERR_MONITOR_REJECTED,
     PROTOCOL_VERSION,
     SOCK_RAW,
     SOCK_TCP,
@@ -43,7 +51,6 @@ from repro.proto.constants import (
     ST_BAD_ARGUMENT,
     ST_BAD_SOCKET,
     ST_CONNECT_FAILED,
-    ST_DENIED,
     ST_MEM_FAULT,
     ST_OK,
     ST_UNSUPPORTED,
@@ -75,6 +82,57 @@ from repro.proto.messages import (
 from repro.rendezvous.descriptor import ExperimentDescriptor
 from repro.util.byteio import DecodeError
 
+# Verifier reports travel in AuthFail.report (str_u16) and Result.payload;
+# keep them bounded so a pathological program can't bloat the handshake.
+MAX_REPORT_CHARS = 4096
+
+
+class MonitorRejected(Exception):
+    """A filter/monitor program failed static verification at install time.
+
+    Carries the full :class:`VerifierReport` so the rejection sent back to
+    the controller can explain *why* (instead of the endpoint silently
+    deny-listing every packet when the broken monitor faults at runtime).
+    """
+
+    def __init__(self, index: int, report: VerifierReport) -> None:
+        errors = report.errors
+        summary = errors[0].render() if errors else "rejected"
+        super().__init__(f"monitor {index} rejected: {summary}")
+        self.index = index
+        self.report = report
+
+
+def admit_filter_program(
+    program: FilterProgram, *, obs, fuel_limit: int, kind: str = "monitor"
+) -> VerifierReport:
+    """Statically verify a program at its trust boundary (install time).
+
+    This is the endpoint's single admission gate: certificate monitors and
+    ``ncap`` capture filters both pass through it before any packet does.
+    Emits ``filtervm.verify_ok`` / ``filtervm.verify_rejected`` counters, a
+    ``filtervm.verify`` span, and a wall-clock histogram (verification runs
+    synchronously, so its cost is real time, not simulated time).
+    """
+    span = obs.span("filtervm", "verify", kind=kind) if obs.enabled else None
+    wall_start = _time.perf_counter()
+    report = verify_filter(program, info_size=MEMORY_SIZE,
+                           fuel_limit=fuel_limit)
+    wall = _time.perf_counter() - wall_start
+    if obs.enabled:
+        span.end(ok=report.ok, errors=len(report.errors),
+                 warnings=len(report.warnings))
+        obs.histogram("filtervm.verify_wall_s").observe(wall)
+        name = "filtervm.verify_ok" if report.ok else "filtervm.verify_rejected"
+        obs.counter(name).inc()
+    return report
+
+
+def _decode_failure_report(exc: Exception) -> VerifierReport:
+    report = VerifierReport()
+    report.error("decode", str(exc))
+    return report
+
 
 class Session:
     """One controller's interactive session with the endpoint."""
@@ -104,8 +162,21 @@ class Session:
         self.sockets: dict[int, EndpointSocket] = {}
         self.monitors: list[FilterVM] = []
         info_view = MonitorInfoView(endpoint.memory)
-        for program_bytes in authorized.chain_result.monitors:
-            program = FilterProgram.decode(program_bytes)
+        for index, program_bytes in enumerate(
+            authorized.chain_result.monitors
+        ):
+            try:
+                program = FilterProgram.decode(program_bytes)
+            except (DecodeError, ProgramError) as exc:
+                raise MonitorRejected(
+                    index, _decode_failure_report(exc)
+                ) from exc
+            report = admit_filter_program(
+                program, obs=self._obs,
+                fuel_limit=endpoint.config.monitor_fuel,
+            )
+            if not report.ok:
+                raise MonitorRejected(index, report)
             vm = FilterVM(program, info=info_view,
                           fuel_limit=endpoint.config.monitor_fuel,
                           obs=self._obs)
@@ -366,6 +437,21 @@ class Session:
             program = FilterProgram.decode(message.filt)
         except (DecodeError, ProgramError):
             self.send_message(Result(reqid=message.reqid, status=ST_BAD_ARGUMENT))
+            return
+        # Same admission gate as certificate monitors: a capture filter
+        # that would provably fault is rejected with its verifier report.
+        report = admit_filter_program(
+            program, obs=self._obs,
+            fuel_limit=self.endpoint.config.monitor_fuel, kind="ncap",
+        )
+        if not report.ok:
+            self.send_message(
+                Result(
+                    reqid=message.reqid,
+                    status=ERR_MONITOR_REJECTED,
+                    payload=report.render()[:MAX_REPORT_CHARS].encode(),
+                )
+            )
             return
         socket.install_filter(program, message.time)
         self.send_message(Result(reqid=message.reqid, status=ST_OK))
@@ -648,7 +734,28 @@ class Endpoint:
             # Crashed mid-handshake: the connection dies with everything else.
             conn.abort()
             return None
-        session = Session(self, stream, authorized, self._next_session_id)
+        try:
+            session = Session(self, stream, authorized,
+                              self._next_session_id)
+        except MonitorRejected as exc:
+            self.auth_failures += 1
+            if sim.obs.enabled:
+                sim.obs.counter("endpoint.auth_failures").inc()
+                sim.obs.emit("endpoint", "auth-fail",
+                             endpoint=self.config.name, reason=str(exc),
+                             code=ERR_MONITOR_REJECTED)
+            try:
+                yield from stream.send(
+                    AuthFail(
+                        reason=str(exc),
+                        code=ERR_MONITOR_REJECTED,
+                        report=exc.report.render()[:MAX_REPORT_CHARS],
+                    )
+                )
+            except TcpError:
+                pass
+            conn.close()
+            return None
         self._next_session_id += 1
         self.sessions[session.session_id] = session
         if sim.obs.enabled:

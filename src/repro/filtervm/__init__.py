@@ -17,6 +17,13 @@ from repro.filtervm.program import (
     Function,
     ProgramError,
 )
+from repro.filtervm.verify import (
+    Finding,
+    VerifierReport,
+    VerifyRejected,
+    verify,
+    verify_or_raise,
+)
 from repro.filtervm.vm import (
     DEFAULT_FUEL,
     VERDICT_CONSUME,
@@ -35,6 +42,7 @@ __all__ = [
     "ENTRY_SEND",
     "FilterProgram",
     "FilterVM",
+    "Finding",
     "Function",
     "Instruction",
     "Op",
@@ -42,7 +50,11 @@ __all__ = [
     "VERDICT_CONSUME",
     "VERDICT_DROP",
     "VERDICT_MIRROR",
+    "VerifierReport",
+    "VerifyRejected",
     "assemble",
     "builtins",
     "disassemble",
+    "verify",
+    "verify_or_raise",
 ]

@@ -44,6 +44,11 @@ def assemble(source: str) -> FilterProgram:
     def finish_function() -> None:
         nonlocal current_function
         if current_function is not None:
+            if current_function["offset"] == len(code):
+                raise AssemblyError(
+                    f"line {current_function['line']}: function "
+                    f"{current_function['name']!r} has an empty body"
+                )
             functions.append(
                 Function(
                     name=current_function["name"],
@@ -77,7 +82,13 @@ def assemble(source: str) -> FilterProgram:
             finish_function()
             if len(parts) < 2:
                 raise AssemblyError(f"line {line_number}: func needs a name")
-            spec = {"name": parts[1], "offset": len(code), "args": 0, "locals": 0}
+            spec = {
+                "name": parts[1],
+                "offset": len(code),
+                "args": 0,
+                "locals": 0,
+                "line": line_number,
+            }
             for extra in parts[2:]:
                 if "=" not in extra:
                     raise AssemblyError(
@@ -118,7 +129,17 @@ def assemble(source: str) -> FilterProgram:
     for index, label, line_number in fixups:
         if label not in labels:
             raise AssemblyError(f"line {line_number}: undefined label {label!r}")
-        code[index] = Instruction(code[index].op, labels[label])
+        target = labels[label]
+        # The VM's bounds check is 0 <= pc < len(code); a label declared
+        # after the last instruction resolves to one-past-the-end and
+        # would fault at runtime. Report it here, with the line number.
+        if target >= len(code):
+            raise AssemblyError(
+                f"line {line_number}: label {label!r} resolves to "
+                f"{target}, one past the end of the {len(code)}-instruction "
+                "program (no instruction follows it)"
+            )
+        code[index] = Instruction(code[index].op, target)
     name_to_index = {function.name: i for i, function in enumerate(functions)}
     for index, name, line_number in call_fixups:
         if name not in name_to_index:

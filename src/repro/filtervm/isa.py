@@ -27,8 +27,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
-
 
 class Op(enum.IntEnum):
     """Opcodes. Operand column: I = signed 64-bit immediate, - = none."""

@@ -88,7 +88,11 @@ class FilterProgram:
         if len(set(names)) != len(names):
             raise ProgramError("duplicate function names")
         for function in self.functions:
-            if not 0 <= function.offset < max(1, len(self.code)):
+            # Strictly less than len(code): a function must own at least
+            # one instruction, or the VM faults "pc ran off the end" on
+            # the very first fetch (offset == len(code) is one-past-the-
+            # end, not a body).
+            if not 0 <= function.offset < len(self.code):
                 raise ProgramError(
                     f"function {function.name} offset {function.offset} out of range"
                 )

@@ -21,6 +21,10 @@ ST_CONNECT_FAILED = 5  # TCP connect refused / timed out
 ST_NO_ROUTE = 6
 ST_MEM_FAULT = 7  # mread/mwrite outside the accessible region
 ST_INTERNAL = 8
+# A monitor/filter program failed static verification at install time.
+# Used both as AuthFail.code (certificate monitors, session setup) and as
+# Result.status (ncap filters); the payload carries the verifier report.
+ERR_MONITOR_REJECTED = 9
 
 STATUS_NAMES = {
     ST_OK: "ok",
@@ -32,6 +36,7 @@ STATUS_NAMES = {
     ST_NO_ROUTE: "no-route",
     ST_MEM_FAULT: "mem-fault",
     ST_INTERNAL: "internal-error",
+    ERR_MONITOR_REJECTED: "monitor-rejected",
 }
 
 # Endpoint capability bits (HELLO.caps and the info block caps field).

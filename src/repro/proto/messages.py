@@ -12,7 +12,7 @@ as the paper specifies: the endpoint never interprets controller wall time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import ClassVar, Type
 
 from repro.util.byteio import ByteReader, ByteWriter, DecodeError
@@ -140,13 +140,23 @@ class AuthOk(Message):
 class AuthFail(Message):
     TYPE: ClassVar[int] = 4
     reason: str = ""
+    # Machine-readable failure class (0 = generic auth failure,
+    # ERR_MONITOR_REJECTED = a certificate monitor failed static
+    # verification); ``report`` carries the full verifier report text.
+    code: int = 0
+    report: str = ""
 
     def encode_body(self, writer: ByteWriter) -> None:
         writer.str_u16(self.reason)
+        writer.u8(self.code)
+        writer.str_u16(self.report)
 
     @classmethod
     def decode_body(cls, reader: ByteReader) -> "AuthFail":
-        return cls(reason=reader.str_u16())
+        reason = reader.str_u16()
+        code = reader.u8()
+        report = reader.str_u16()
+        return cls(reason=reason, code=code, report=report)
 
 
 # ---------------------------------------------------------------------------
