@@ -1,0 +1,142 @@
+"""F1 — fleet orchestration: concurrent campaigns beat serial sessions.
+
+The paper's pitch is one controller interface driving *many* endpoints.
+This bench runs a ping campaign over a generated fleet (sharded
+rendezvous -> endpoint pool -> campaign scheduler) and verifies the
+subsystem's three load-bearing claims:
+
+- a 200-endpoint campaign completes, with every job accounted for;
+- multiplexing sessions inside the event kernel beats running the same
+  sessions serially by >= 3x simulated wall-clock (it is typically far
+  more — concurrency is bounded only by the scheduler cap);
+- determinism: two same-seed runs produce byte-identical aggregate
+  reports.
+
+Scheduler overhead is reported two ways: host milliseconds per session
+(the orchestration cost on top of the simulation itself) and the
+scheduling efficiency of the concurrent run (busy session-time divided
+by makespan x concurrency).
+
+Run standalone for CI smoke mode:
+
+    python benchmarks/bench_f1_fleet.py --smoke
+"""
+
+import sys
+import time
+
+from conftest import print_table
+
+FULL_ENDPOINTS = 200
+SMOKE_ENDPOINTS = 20
+PING_COUNT = 2
+MIN_SPEEDUP = 3.0
+
+
+def _run_campaign(endpoint_count: int, concurrency: int, seed: int):
+    """One fleet ping campaign; returns (report, host_seconds)."""
+    from repro.experiments.campaign import ping_job
+    from repro.fleet import FleetTestbed
+
+    fleet = FleetTestbed(
+        endpoint_count=endpoint_count,
+        shards=2,
+        operator_count=4,
+        seed=seed,
+    )
+    jobs = [ping_job(f"ping-{index}", count=PING_COUNT)
+            for index in range(endpoint_count)]
+    started = time.perf_counter()
+    report = fleet.run_campaign(
+        jobs,
+        campaign_name=f"f1-{endpoint_count}x{concurrency}",
+        max_concurrency=concurrency,
+    )
+    return report, time.perf_counter() - started
+
+
+def _campaign_comparison(endpoint_count: int, concurrency: int):
+    """Concurrent vs serial + determinism; returns the result rows."""
+    concurrent, wall_concurrent = _run_campaign(
+        endpoint_count, concurrency, seed=1
+    )
+    replay, _ = _run_campaign(endpoint_count, concurrency, seed=1)
+    serial, wall_serial = _run_campaign(endpoint_count, 1, seed=1)
+
+    assert concurrent.jobs_completed == endpoint_count, (
+        f"campaign incomplete: {concurrent.jobs_completed}/{endpoint_count}"
+    )
+    assert concurrent.jobs_failed == 0
+    deterministic = concurrent.to_json() == replay.to_json()
+    assert deterministic, "same-seed campaigns diverged"
+    assert serial.jobs_completed == endpoint_count
+
+    speedup = serial.makespan / concurrent.makespan
+    assert speedup >= MIN_SPEEDUP, (
+        f"concurrent scheduling only {speedup:.2f}x faster than serial "
+        f"(needs >= {MIN_SPEEDUP}x)"
+    )
+    # Busy session-time approximated by the serial makespan (one session
+    # at a time, so it *is* the sum of session durations).
+    efficiency = serial.makespan / (concurrent.makespan * concurrency)
+    overhead_ms = wall_concurrent / endpoint_count * 1e3
+    rows = [
+        ["concurrent", concurrency, concurrent.jobs_completed,
+         concurrent.makespan, wall_concurrent, overhead_ms],
+        ["serial", 1, serial.jobs_completed, serial.makespan,
+         wall_serial, wall_serial / endpoint_count * 1e3],
+    ]
+    summary = {
+        "speedup": speedup,
+        "efficiency": efficiency,
+        "overhead_ms_per_session": overhead_ms,
+        "deterministic": deterministic,
+        "rtt_p50": concurrent.aggregator.total.sketches["rtt_s"].quantile(0.5),
+    }
+    return rows, summary
+
+
+def _report(title: str, rows, summary) -> None:
+    print_table(
+        title,
+        ["mode", "cap", "jobs", "sim makespan s", "host s",
+         "host ms/session"],
+        rows,
+    )
+    print(f"speedup {summary['speedup']:.1f}x (>= {MIN_SPEEDUP}x required), "
+          f"scheduling efficiency {summary['efficiency']:.2f}, "
+          f"deterministic={summary['deterministic']}, "
+          f"fleet rtt p50 {summary['rtt_p50'] * 1e3:.1f} ms")
+
+
+def test_f1_fleet_campaign(benchmark):
+    """200-endpoint ping campaign: complete, deterministic, >= 3x serial."""
+    rows, summary = benchmark.pedantic(
+        _campaign_comparison, args=(FULL_ENDPOINTS, 32),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(summary)
+    _report(f"F1: {FULL_ENDPOINTS}-endpoint ping campaign", rows, summary)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    endpoint_count = SMOKE_ENDPOINTS if smoke else FULL_ENDPOINTS
+    concurrency = 8 if smoke else 32
+    rows, summary = _campaign_comparison(endpoint_count, concurrency)
+    _report(
+        f"F1{' (smoke)' if smoke else ''}: {endpoint_count}-endpoint "
+        f"ping campaign",
+        rows, summary,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import os
+
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "..", "src")
+    )
+    sys.exit(main(sys.argv[1:]))

@@ -10,6 +10,9 @@ Subcommands:
 - ``python -m repro observability [--export PATH | JSONL_PATH]`` — run a
   short instrumented experiment and print the per-layer telemetry
   report; or format an existing JSONL export without running anything.
+- ``python -m repro fleet [--endpoints N] [--shards K] [...]`` — run a
+  fleet ping campaign over sharded rendezvous and print the aggregate
+  report.
 """
 
 from __future__ import annotations
@@ -77,6 +80,70 @@ def observability_main(argv: list[str]) -> int:
     return 0
 
 
+def fleet_main(argv: list[str]) -> int:
+    """Run a ping campaign over a generated fleet and print the report."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Run a measurement campaign over a simulated fleet.",
+    )
+    parser.add_argument("--endpoints", type=int, default=20,
+                        help="fleet size (default 20)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="campaign jobs (default: one per endpoint)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="rendezvous shard count (default 2)")
+    parser.add_argument("--operators", type=int, default=4,
+                        help="endpoint operator keys (default 4)")
+    parser.add_argument("--topology", default="star",
+                        choices=("star", "tree", "mesh"))
+    parser.add_argument("--concurrency", type=int, default=16,
+                        help="max concurrent sessions (default 16)")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="session starts per simulated second "
+                             "(default unlimited)")
+    parser.add_argument("--count", type=int, default=3,
+                        help="probes per ping job (default 3)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--export", metavar="PATH", default=None,
+                        help="write per-endpoint rollups as JSONL")
+    parser.add_argument("--json", action="store_true",
+                        help="print the canonical JSON report instead of "
+                             "the summary")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.campaign import ping_job
+    from repro.fleet import FleetTestbed
+
+    fleet = FleetTestbed(
+        endpoint_count=args.endpoints,
+        topology=args.topology,
+        shards=args.shards,
+        operator_count=args.operators,
+        seed=args.seed,
+    )
+    job_count = args.jobs or args.endpoints
+    jobs = [ping_job(f"ping-{index}", count=args.count)
+            for index in range(job_count)]
+    report = fleet.run_campaign(
+        jobs,
+        campaign_name="fleet-demo",
+        max_concurrency=args.concurrency,
+        rate=args.rate,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+        print(f"  rendezvous: {args.shards} shard(s), "
+              f"{fleet.rendezvous.experiments_delivered} offers delivered")
+    if args.export:
+        lines = report.export_jsonl(args.export)
+        print(f"  exported {lines} rollup records to {args.export}")
+    return 0
+
+
 def main() -> int:
     from repro.controller.clocksync import estimate_clock
     from repro.core import Testbed
@@ -128,4 +195,6 @@ def main() -> int:
 if __name__ == "__main__":
     if len(sys.argv) > 1 and sys.argv[1] == "observability":
         sys.exit(observability_main(sys.argv[2:]))
+    if len(sys.argv) > 1 and sys.argv[1] == "fleet":
+        sys.exit(fleet_main(sys.argv[2:]))
     sys.exit(main())

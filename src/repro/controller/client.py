@@ -79,6 +79,25 @@ class RpcTimeout(Exception):
 
 
 @dataclass
+class DeferredError:
+    """A pipelined (``*_nowait``) command that later reported failure.
+
+    Fire-and-forget commands have no caller waiting on their Result, so a
+    non-OK status used to vanish in the reader loop. The handle now keeps
+    these so campaign rollups can surface late send failures instead of
+    silently under-counting.
+    """
+
+    op: str
+    status: int
+    time: float
+
+    def __str__(self) -> str:
+        name = STATUS_NAMES.get(self.status, str(self.status))
+        return f"{self.op} failed late: {name} (t={self.time:g})"
+
+
+@dataclass
 class ExperimentIdentity:
     """What a controller presents to endpoints: descriptor + chains.
 
@@ -124,6 +143,10 @@ class EndpointHandle:
         self.notifications: list[Message] = []
         # Records pushed by a streaming-mode endpoint (reqid-0 PollData).
         self.streamed_records: list = []
+        # reqid -> op for pipelined commands whose Result nobody awaits;
+        # late failures land in deferred_errors instead of being dropped.
+        self._nowait_ops: dict[int, str] = {}
+        self.deferred_errors: list[DeferredError] = []
         # Verifier report from the most recent ncap the endpoint rejected
         # with ERR_MONITOR_REJECTED (None until that happens).
         self.last_verifier_report: Optional[str] = None
@@ -147,6 +170,18 @@ class EndpointHandle:
                 waiter = self._pending.pop(message.reqid, None)
                 if waiter is not None:
                     waiter.fire(message)
+                    continue
+                op = self._nowait_ops.pop(message.reqid, None)
+                status = getattr(message, "status", ST_OK)
+                if op is not None and status != ST_OK:
+                    self.deferred_errors.append(
+                        DeferredError(op, status, self.sim.now)
+                    )
+                    if self._obs.enabled:
+                        self._obs.counter("rpc.deferred_errors", op=op).inc()
+                        self._obs.emit("rpc", "deferred-error",
+                                       endpoint=self.endpoint_name, op=op,
+                                       status=status)
                 continue
             self.notifications.append(message)
             if isinstance(message, Interrupted):
@@ -276,8 +311,10 @@ class EndpointHandle:
         """
         if self._obs.enabled:
             self._obs.counter("controller.rpcs_pipelined").inc()
+        reqid = self._reqid()
+        self._nowait_ops[reqid] = f"nsend:{sktid}"
         self._outbox.put(
-            NSend(reqid=self._reqid(), sktid=sktid, time=time_ticks, data=data)
+            NSend(reqid=reqid, sktid=sktid, time=time_ticks, data=data)
         )
 
     def ncap(self, sktid: int, time_ticks: int,

@@ -53,11 +53,17 @@ class ResilientHandle:
         poll_interval: float = 0.1,
         resync_clock: bool = False,
         controller_clock: Optional[HostClock] = None,
+        endpoints_queue=None,
     ) -> None:
         from repro.util.retry import RetryPolicy
 
         self.server = server
         self.handle = handle
+        # Where fresh sessions appear after a loss. A pooled fleet routes
+        # each endpoint's reconnects to a per-endpoint queue — adopting
+        # straight from server.endpoints would steal another endpoint's
+        # session when many share one controller.
+        self._endpoints_queue = endpoints_queue
         self.policy = policy or RetryPolicy()
         self.rng = random.Random(seed)
         self.reacquire_timeout = reacquire_timeout
@@ -72,6 +78,9 @@ class ResilientHandle:
         self._open_sockets: dict[int, dict] = {}
         self._captures: dict[int, tuple[int, bytes]] = {}
         self._retries_last_invoke = 0
+        # Late nsend_nowait failures harvested from sessions this handle
+        # has already abandoned (see the deferred_errors property).
+        self._deferred_prior: list = []
 
     # -- passthrough state ----------------------------------------------------
 
@@ -94,6 +103,11 @@ class ResilientHandle:
     @property
     def streamed_records(self):
         return self.handle.streamed_records
+
+    @property
+    def deferred_errors(self):
+        """Late pipelined-command failures across every adopted session."""
+        return self._deferred_prior + self.handle.deferred_errors
 
     # -- retry machinery ------------------------------------------------------
 
@@ -130,9 +144,11 @@ class ResilientHandle:
         """Adopt the next session the endpoint re-establishes."""
         sim = self.sim
         deadline = sim.now + self.reacquire_timeout
+        source = self._endpoints_queue or self.server.endpoints
         while True:
-            fresh = self.server.endpoints.try_get()
+            fresh = source.try_get()
             if fresh is not None:
+                self._deferred_prior.extend(self.handle.deferred_errors)
                 self.handle = fresh
                 self.reconnects += 1
                 obs = self._obs

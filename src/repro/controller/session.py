@@ -181,15 +181,21 @@ class Experimenter:
         rdz_port: int,
         descriptor: ExperimentDescriptor,
         experiment_restrictions: Optional[Restrictions] = None,
+        grants: Optional[list[OperatorGrant]] = None,
     ) -> Generator:
         """Publish an experiment; returns (ok, reason). Generator — use
-        ``ok, reason = yield from experimenter.publish(...)``."""
+        ``ok, reason = yield from experimenter.publish(...)``.
+
+        ``grants`` restricts the delivery chains sent along (used by
+        sharded rendezvous to give each shard only the chains whose
+        operator channels it owns); default is every collected grant.
+        """
         publish_chain = self.publish_chain(descriptor, experiment_restrictions)
         delivery = tuple(
             self._chain_from_grant(
                 grant, descriptor, experiment_restrictions
             ).encode()
-            for grant in self.endpoint_grants
+            for grant in (self.endpoint_grants if grants is None else grants)
         )
         try:
             conn = yield from node.tcp.open_connection(rdz_addr, rdz_port)

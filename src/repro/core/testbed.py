@@ -104,13 +104,30 @@ class Testbed:
             self.endpoint_config.reconnect_policy = endpoint_reconnect_policy
         self.endpoint = Endpoint(self.endpoint_host, self.endpoint_config)
         self.rendezvous: Optional[RendezvousServer] = None
+        self.rendezvous_servers: list[RendezvousServer] = []
         self._next_port = DEFAULT_CONTROLLER_PORT
+        # Ports already claimed on the controller host. Controllers
+        # allocate upward from 7000 and rendezvous servers historically
+        # sat at 7100, so the 101st controller used to collide with the
+        # rendezvous listener; tracking reservations closes that hole.
+        self._used_ports: set[int] = set()
 
     # -- component helpers --------------------------------------------------
 
     def allocate_port(self) -> int:
+        while self._next_port in self._used_ports:
+            self._next_port += 1
         port = self._next_port
+        self._used_ports.add(port)
         self._next_port += 1
+        return port
+
+    def reserve_port(self, port: int) -> int:
+        """Claim a specific controller-host port; raises if already taken."""
+        if port in self._used_ports:
+            raise RuntimeError(f"port {port} already in use on "
+                               f"{self.controller_host.name}")
+        self._used_ports.add(port)
         return port
 
     def make_controller(
@@ -126,7 +143,10 @@ class Testbed:
         """Start a ControllerServer for a named experiment."""
         host = controller_host or self.controller_host
         who = experimenter or self.experimenter
-        port = port or self.allocate_port()
+        if port is None:
+            port = self.allocate_port()
+        elif host is self.controller_host:
+            self._used_ports.add(port)
         descriptor = who.make_descriptor(host, port, experiment_name)
         identity = who.identity(
             descriptor,
@@ -138,13 +158,26 @@ class Testbed:
         ).start()
         return server, descriptor
 
-    def start_rendezvous(self, port: int = DEFAULT_RENDEZVOUS_PORT,
+    def start_rendezvous(self, port: Optional[int] = DEFAULT_RENDEZVOUS_PORT,
                          host: Optional[Node] = None) -> RendezvousServer:
-        """Start a rendezvous server (on the controller host by default)."""
+        """Start a rendezvous server (on the controller host by default).
+
+        ``port=None`` allocates a fresh port, so several rendezvous
+        servers can coexist on the controller host alongside any number
+        of controllers without listener collisions. Each server is
+        recorded in ``rendezvous_servers``; ``self.rendezvous`` tracks
+        the most recently started one.
+        """
         node = host or self.controller_host
+        if node is self.controller_host:
+            port = self.allocate_port() if port is None \
+                else self.reserve_port(port)
+        elif port is None:
+            port = DEFAULT_RENDEZVOUS_PORT
         self.rendezvous = RendezvousServer(
             node, port, trusted_publisher_key_ids=[self.rendezvous_operator.key_id]
         ).start()
+        self.rendezvous_servers.append(self.rendezvous)
         return self.rendezvous
 
     def connect_endpoint(self, descriptor: ExperimentDescriptor):
@@ -256,6 +289,81 @@ class Testbed:
         if collect_telemetry:
             return result, self.telemetry_snapshot()
         return result
+
+    def run_campaign(
+        self,
+        jobs: list,
+        campaign_name: str = "campaign",
+        max_concurrency: int = 4,
+        rate: Optional[float] = None,
+        burst: float = 1.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        pool_policy: Optional[RetryPolicy] = None,
+        priority: int = 0,
+        rpc_timeout: Optional[float] = 5.0,
+        max_concurrent_per_endpoint: int = 1,
+        seed: int = 0,
+        timeout: float = 3600.0,
+    ):
+        """Run a list of :class:`~repro.fleet.scheduler.CampaignJob`\\ s
+        against this testbed's (single) endpoint.
+
+        The fleet scheduler treats the one-endpoint testbed as a pool of
+        size one: jobs queue up, sessions are reused, failures reschedule
+        with backoff, and the returned
+        :class:`~repro.fleet.scheduler.CampaignReport` carries the same
+        deterministic rollups a full :class:`~repro.fleet.FleetTestbed`
+        campaign produces. For many-endpoint campaigns use
+        :class:`repro.fleet.FleetTestbed` directly.
+        """
+        # Imported lazily: repro.fleet builds on the controller layer,
+        # which this module also feeds — a top-level import would cycle.
+        from repro.fleet.aggregate import ResultAggregator
+        from repro.fleet.pool import EndpointPool
+        from repro.fleet.scheduler import CampaignContext, CampaignScheduler
+
+        server, descriptor = self.make_controller(
+            campaign_name, priority=priority, rpc_timeout=rpc_timeout
+        )
+        self.connect_endpoint(descriptor)
+        pool = EndpointPool(
+            server,
+            policy=pool_policy,
+            seed=seed,
+            max_concurrent_per_endpoint=max_concurrent_per_endpoint,
+        )
+        context = CampaignContext(
+            sim=self.sim,
+            controller_host=self.controller_host,
+            target_address=self.target_address,
+            allocate_port=self.allocate_port,
+        )
+        scheduler = CampaignScheduler(
+            pool,
+            jobs,
+            name=campaign_name,
+            max_concurrency=max_concurrency,
+            rate=rate,
+            burst=burst,
+            retry_policy=retry_policy,
+            seed=seed,
+            context=context,
+            aggregator=ResultAggregator(campaign=campaign_name),
+        )
+
+        def driver() -> Generator:
+            yield from pool.populate(1)
+            report = yield from scheduler.run()
+            return report
+
+        try:
+            report = self.sim.run_process(
+                driver(), name=f"campaign-{campaign_name}", timeout=timeout
+            )
+        finally:
+            pool.shutdown()
+            server.stop()
+        return report
 
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)

@@ -13,6 +13,7 @@ require no changes to endpoints".
 """
 
 from repro.experiments.bandwidth import BandwidthResult, measure_uplink_bandwidth
+from repro.experiments.campaign import bandwidth_job, ping_job, traceroute_job
 from repro.experiments.dispersion import (
     DispersionResult,
     measure_downlink_dispersion,
@@ -49,14 +50,17 @@ __all__ = [
     "TracerouteHop",
     "TracerouteResult",
     "UdpSink",
+    "bandwidth_job",
     "dns_query",
     "http_get",
     "measure_downlink_dispersion",
     "measure_uplink_bandwidth",
     "passive_capture",
     "ping",
+    "ping_job",
     "start_dns_server",
     "start_http_server",
     "start_udp_echo",
     "traceroute",
+    "traceroute_job",
 ]

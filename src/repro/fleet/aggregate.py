@@ -1,0 +1,243 @@
+"""Streaming result aggregation for measurement campaigns.
+
+A 500-endpoint campaign must produce one report without buffering every
+raw probe result in controller memory. The aggregator therefore keeps
+only *mergeable* state:
+
+- :class:`CounterSet` — named integer/float accumulators,
+- :class:`QuantileSketch` — a log-bucketed distribution sketch (bounded
+  size, exact count/sum/min/max, approximate quantiles with a fixed
+  relative error set by the bucket growth factor),
+
+rolled up twice: once per endpoint and once campaign-wide. Everything is
+deterministic — same inputs in the same order produce byte-identical
+JSON — which is what lets the fleet benchmark assert that two same-seed
+campaign runs agree to the byte.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Optional
+
+# Bucket boundaries grow by 10% per bucket: quantile estimates carry at
+# most ~5% relative error, and a sketch spanning 1 ns .. 100 s needs only
+# a few hundred buckets.
+GROWTH = 1.1
+_LOG_GROWTH = math.log(GROWTH)
+
+
+class QuantileSketch:
+    """Log-bucketed streaming quantile sketch (mergeable, deterministic).
+
+    Values are assigned to bucket ``floor(log(v) / log(GROWTH))``; a
+    quantile query returns the geometric midpoint of the bucket holding
+    the target rank. Non-positive values land in a dedicated underflow
+    bucket reported as 0.0.
+    """
+
+    __slots__ = ("buckets", "underflow", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.underflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.underflow += 1
+            return
+        index = math.floor(math.log(value) / _LOG_GROWTH)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def merge(self, other: "QuantileSketch") -> None:
+        self.count += other.count
+        self.sum += other.sum
+        self.underflow += other.underflow
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for index, bucket_count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + bucket_count
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (0 <= q <= 1); 0.0 on an empty sketch."""
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        seen = self.underflow
+        if seen >= target:
+            return 0.0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                # Geometric midpoint of [GROWTH**i, GROWTH**(i+1)).
+                return GROWTH ** (index + 0.5)
+        return self.max if self.max is not None else 0.0
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean(),
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class CounterSet:
+    """Named additive accumulators (mergeable)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1) -> None:
+        self.values[name] = self.values.get(name, 0) + amount
+
+    def merge(self, other: "CounterSet") -> None:
+        for name, value in other.values.items():
+            self.values[name] = self.values.get(name, 0) + value
+
+    def get(self, name: str) -> float:
+        return self.values.get(name, 0)
+
+    def to_dict(self) -> dict:
+        return {name: self.values[name] for name in sorted(self.values)}
+
+
+class Rollup:
+    """One aggregation scope: counters + a sketch per value stream."""
+
+    __slots__ = ("counters", "sketches", "jobs", "failures")
+
+    def __init__(self) -> None:
+        self.counters = CounterSet()
+        self.sketches: dict[str, QuantileSketch] = {}
+        self.jobs = 0
+        self.failures = 0
+
+    def sketch(self, name: str) -> QuantileSketch:
+        sketch = self.sketches.get(name)
+        if sketch is None:
+            sketch = self.sketches[name] = QuantileSketch()
+        return sketch
+
+    def absorb(self, metrics: dict) -> None:
+        """Fold one job's metrics dict into this rollup.
+
+        ``metrics`` uses the campaign convention::
+
+            {"counters": {name: amount, ...},
+             "values": {stream: [floats], ...}}
+        """
+        for name, amount in (metrics.get("counters") or {}).items():
+            self.counters.add(name, amount)
+        for name, values in (metrics.get("values") or {}).items():
+            self.sketch(name).extend(values)
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "failures": self.failures,
+            "counters": self.counters.to_dict(),
+            "values": {
+                name: self.sketches[name].to_dict()
+                for name in sorted(self.sketches)
+            },
+        }
+
+
+class ResultAggregator:
+    """Streaming per-endpoint + campaign-level rollups.
+
+    ``observe`` is called once per finished job with the job's extracted
+    metrics; raw results are never retained. ``report`` produces a
+    deterministic plain-dict summary, and ``export_jsonl`` streams it as
+    one campaign line plus one line per endpoint.
+    """
+
+    def __init__(self, campaign: str = "campaign") -> None:
+        self.campaign = campaign
+        self.total = Rollup()
+        self.per_endpoint: dict[str, Rollup] = {}
+        self.jobs_observed = 0
+
+    def endpoint(self, name: str) -> Rollup:
+        rollup = self.per_endpoint.get(name)
+        if rollup is None:
+            rollup = self.per_endpoint[name] = Rollup()
+        return rollup
+
+    def observe(self, endpoint_name: str, metrics: Optional[dict],
+                failed: bool = False) -> None:
+        self.jobs_observed += 1
+        for rollup in (self.total, self.endpoint(endpoint_name)):
+            rollup.jobs += 1
+            if failed:
+                rollup.failures += 1
+            if metrics:
+                rollup.absorb(metrics)
+
+    # -- export ---------------------------------------------------------------
+
+    def report(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "jobs_observed": self.jobs_observed,
+            "aggregate": self.total.to_dict(),
+            "endpoints": {
+                name: self.per_endpoint[name].to_dict()
+                for name in sorted(self.per_endpoint)
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical (byte-stable) JSON encoding of the report."""
+        return json.dumps(self.report(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def jsonl_lines(self) -> list[str]:
+        lines = [json.dumps(
+            {"record": "campaign", "campaign": self.campaign,
+             "jobs_observed": self.jobs_observed,
+             "aggregate": self.total.to_dict()},
+            sort_keys=True, separators=(",", ":"),
+        )]
+        for name in sorted(self.per_endpoint):
+            lines.append(json.dumps(
+                {"record": "endpoint", "campaign": self.campaign,
+                 "endpoint": name,
+                 **self.per_endpoint[name].to_dict()},
+                sort_keys=True, separators=(",", ":"),
+            ))
+        return lines
+
+    def export_jsonl(self, path: str) -> int:
+        lines = self.jsonl_lines()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)

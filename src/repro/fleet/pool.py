@@ -1,0 +1,228 @@
+"""Endpoint pool: the fleet-side view of accepted controller sessions.
+
+A campaign runs one :class:`~repro.controller.client.ControllerServer`;
+endpoints discovered through (sharded) rendezvous dial in and land on
+the server's accepted queue. The pool's router drains that queue and
+keys each session by endpoint name:
+
+- the first session from an endpoint is adopted into a
+  :class:`PooledEndpoint` and wrapped in a
+  :class:`~repro.controller.recovery.ResilientHandle` whose reconnect
+  source is the endpoint's *own* per-name queue — with hundreds of
+  endpoints sharing one server, a recovering handle must never adopt
+  some other endpoint's fresh session;
+- later sessions from the same endpoint are routed to that queue, where
+  the resilient handle's reacquire loop finds them.
+
+Handles are reused across jobs (sessions are expensive: TCP + Hello/Auth
++ chain verification), so a 200-job campaign over 200 endpoints performs
+exactly 200 handshakes, not 400.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+from zlib import crc32
+
+from repro.controller.recovery import ResilientHandle
+from repro.netsim.kernel import Queue, any_of
+
+if TYPE_CHECKING:
+    from repro.controller.client import ControllerServer, EndpointHandle
+    from repro.util.retry import RetryPolicy
+
+
+class PoolError(Exception):
+    """Raised when the pool cannot satisfy a population/acquire request."""
+
+
+class PooledEndpoint:
+    """One fleet endpoint: its resilient handle plus scheduling state."""
+
+    __slots__ = (
+        "name", "handle", "queue", "max_concurrent", "inflight",
+        "jobs_completed", "failures", "quarantined", "deferred_reported",
+    )
+
+    def __init__(self, name: str, queue: Queue,
+                 max_concurrent: int = 1) -> None:
+        self.name = name
+        self.handle: Optional[ResilientHandle] = None
+        self.queue = queue
+        self.max_concurrent = max_concurrent
+        self.inflight = 0
+        self.jobs_completed = 0
+        self.failures = 0
+        self.quarantined = False
+        # How many of handle.deferred_errors have already been folded
+        # into campaign results (late nsend_nowait failures).
+        self.deferred_reported = 0
+
+    @property
+    def available(self) -> bool:
+        return (
+            self.handle is not None
+            and not self.quarantined
+            and self.inflight < self.max_concurrent
+        )
+
+
+class EndpointPool:
+    """Routes accepted sessions into named, reusable endpoint slots."""
+
+    def __init__(
+        self,
+        server: "ControllerServer",
+        policy: Optional["RetryPolicy"] = None,
+        seed: int = 0,
+        max_concurrent_per_endpoint: int = 1,
+        quarantine_after: Optional[int] = None,
+    ) -> None:
+        self.server = server
+        self.sim = server.node.sim
+        self.policy = policy
+        self.seed = seed
+        self.max_concurrent_per_endpoint = max_concurrent_per_endpoint
+        # After this many job failures an endpoint stops receiving
+        # unpinned work (None = never quarantine).
+        self.quarantine_after = quarantine_after
+        self.endpoints: dict[str, PooledEndpoint] = {}
+        self._obs = self.sim.obs
+        self._router_proc = None
+        self._population_event = None
+        self._population_target = 0
+
+    # -- adoption -------------------------------------------------------------
+
+    def start(self) -> "EndpointPool":
+        if self._router_proc is None:
+            self._router_proc = self.sim.spawn(
+                self._router(), name="pool-router"
+            )
+        return self
+
+    def _router(self) -> Generator:
+        while True:
+            handle = yield self.server.wait_endpoint()
+            self._adopt(handle)
+
+    def _adopt(self, raw: "EndpointHandle") -> None:
+        name = raw.endpoint_name
+        pooled = self.endpoints.get(name)
+        if pooled is None:
+            pooled = PooledEndpoint(
+                name,
+                self.sim.queue(name=f"pool-{name}"),
+                max_concurrent=self.max_concurrent_per_endpoint,
+            )
+            pooled.handle = ResilientHandle(
+                self.server,
+                raw,
+                policy=self.policy,
+                seed=(self.seed << 16) ^ crc32(name.encode()),
+                endpoints_queue=pooled.queue,
+            )
+            self.endpoints[name] = pooled
+            if self._obs.enabled:
+                self._obs.counter("fleet.endpoints_adopted").inc()
+                self._obs.gauge("fleet.pool_size").set(len(self.endpoints))
+                self._obs.emit("fleet", "endpoint-adopted", endpoint=name)
+            if (
+                self._population_event is not None
+                and not self._population_event.fired
+                and len(self.endpoints) >= self._population_target
+            ):
+                self._population_event.fire(len(self.endpoints))
+        else:
+            # A reconnecting endpoint: hand the fresh session to its
+            # resilient handle's reacquire loop.
+            pooled.queue.put(raw)
+            if self._obs.enabled:
+                self._obs.counter("fleet.sessions_rerouted").inc()
+
+    def populate(self, count: int, timeout: float = 60.0) -> Generator:
+        """Wait until ``count`` distinct endpoints joined the pool.
+
+        Generator — ``yield from pool.populate(n)``. Raises
+        :class:`PoolError` if the fleet does not materialize in time.
+        """
+        self.start()
+        if len(self.endpoints) >= count:
+            return len(self.endpoints)
+        self._population_target = count
+        self._population_event = self.sim.event(name="pool-populated")
+        timeout_event = self.sim.event(name="pool-populate-timeout")
+        timer = self.sim.schedule(timeout, timeout_event.fire)
+        index, _ = yield any_of(
+            self.sim, [self._population_event, timeout_event]
+        )
+        if index == 1:
+            raise PoolError(
+                f"pool reached {len(self.endpoints)}/{count} endpoints "
+                f"within {timeout:g}s"
+            )
+        timer.cancel()
+        return len(self.endpoints)
+
+    # -- scheduling support ---------------------------------------------------
+
+    def acquire(self, pinned: Optional[str] = None) -> Optional[PooledEndpoint]:
+        """Claim an endpoint slot, or None if nothing suitable is free.
+
+        Deterministic: unpinned work goes to the first available
+        endpoint in name order (stable across same-seed runs).
+        """
+        if pinned is not None:
+            pooled = self.endpoints.get(pinned)
+            if pooled is not None and pooled.available:
+                pooled.inflight += 1
+                return pooled
+            return None
+        for name in sorted(self.endpoints):
+            pooled = self.endpoints[name]
+            if pooled.available:
+                pooled.inflight += 1
+                return pooled
+        return None
+
+    def release(self, pooled: PooledEndpoint, failed: bool = False) -> None:
+        pooled.inflight -= 1
+        if failed:
+            pooled.failures += 1
+            if (
+                self.quarantine_after is not None
+                and pooled.failures >= self.quarantine_after
+                and not pooled.quarantined
+            ):
+                pooled.quarantined = True
+                if self._obs.enabled:
+                    self._obs.counter("fleet.endpoints_quarantined").inc()
+                    self._obs.emit("fleet", "endpoint-quarantined",
+                                   endpoint=pooled.name,
+                                   failures=pooled.failures)
+        else:
+            pooled.jobs_completed += 1
+
+    def can_ever_run(self, pinned: Optional[str] = None) -> bool:
+        """Could a job with this pin ever be dispatched (ignoring load)?"""
+        if pinned is not None:
+            pooled = self.endpoints.get(pinned)
+            return pooled is not None and pooled.handle is not None \
+                and not pooled.quarantined
+        return any(
+            pooled.handle is not None and not pooled.quarantined
+            for pooled in self.endpoints.values()
+        )
+
+    # -- teardown -------------------------------------------------------------
+
+    def shutdown(self, bye: bool = True) -> None:
+        """Stop routing; optionally wave goodbye to every live session."""
+        if self._router_proc is not None:
+            self._router_proc.kill()
+            self._router_proc = None
+        if bye:
+            for name in sorted(self.endpoints):
+                handle = self.endpoints[name].handle
+                if handle is not None and not handle.closed:
+                    handle.bye()

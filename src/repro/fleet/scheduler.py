@@ -1,0 +1,472 @@
+"""Campaign scheduler: N concurrent sessions inside one simulator.
+
+The paper's controllers are ephemeral one-experiment processes; a
+*campaign* is hundreds of such experiment runs multiplexed over a pool
+of endpoints. The scheduler is a single simulated process owning:
+
+- a FIFO **work queue** of :class:`CampaignJob`\\ s (optionally pinned to
+  a named endpoint),
+- a global **concurrency cap** plus the pool's per-endpoint caps,
+- a **token bucket** gating session starts (admission/rate control, so a
+  campaign can be throttled to e.g. 5 new sessions per simulated
+  second),
+- **failure-aware rescheduling**: a job that dies on a transport-level
+  fault (or a command error) is requeued with the campaign's
+  :class:`~repro.util.retry.RetryPolicy` backoff; an endpoint that keeps
+  failing is quarantined by the pool.
+
+Every decision consumes virtual time deterministically: with the same
+seed, topology, and job list, two runs produce the identical dispatch
+schedule and byte-identical aggregate reports.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.controller.client import CommandError, RpcTimeout, SessionClosed
+from repro.fleet.aggregate import ResultAggregator
+from repro.fleet.pool import EndpointPool, PooledEndpoint
+from repro.util.retry import RetryPolicy
+
+# Outcomes that requeue a job rather than abort the campaign.
+RESCHEDULABLE = (SessionClosed, RpcTimeout, CommandError)
+
+
+@dataclass
+class CampaignContext:
+    """What a campaign job sees besides its endpoint handle."""
+
+    sim: Any
+    controller_host: Any = None
+    target_address: int = 0
+    allocate_port: Optional[Callable[[], int]] = None
+    attempt: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class CampaignJob:
+    """One schedulable unit: an experiment run over one endpoint session.
+
+    ``run(handle, ctx)`` is a generator (simulated process body) whose
+    return value is passed to ``metrics`` to extract the mergeable
+    summary folded into the campaign rollups — the raw result itself is
+    dropped, keeping aggregation streaming.
+    """
+
+    name: str
+    run: Callable[[Any, CampaignContext], Generator]
+    metrics: Optional[Callable[[Any], dict]] = None
+    endpoint: Optional[str] = None  # pin to a named endpoint
+    attempts: int = 0
+    error: Optional[str] = None
+
+
+class TokenBucket:
+    """Deterministic token bucket over virtual time."""
+
+    __slots__ = ("rate", "burst", "tokens", "last")
+
+    def __init__(self, rate: Optional[float], burst: float, now: float) -> None:
+        self.rate = rate  # tokens per simulated second; None = unlimited
+        self.burst = max(1.0, burst)
+        self.tokens = self.burst
+        self.last = now
+
+    def _refill(self, now: float) -> None:
+        if self.rate is None:
+            return
+        elapsed = now - self.last
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self.last = now
+
+    def try_take(self, now: float) -> bool:
+        if self.rate is None:
+            return True
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def delay_until_token(self, now: float) -> float:
+        """Virtual seconds until the next token exists (0 if one does)."""
+        if self.rate is None:
+            return 0.0
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return 0.0
+        # Tiny epsilon so the wake-up lands strictly at/after the refill
+        # instant despite float rounding.
+        return (1.0 - self.tokens) / self.rate + 1e-9
+
+
+class CampaignReport:
+    """Scheduling statistics + the streamed aggregate rollups."""
+
+    def __init__(self, name: str, seed: int, aggregator: ResultAggregator,
+                 pool: EndpointPool) -> None:
+        self.name = name
+        self.seed = seed
+        self.aggregator = aggregator
+        self.jobs_total = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.retries = 0
+        self.started = 0.0
+        self.finished = 0.0
+        self.max_concurrency = 0
+        self.peak_inflight = 0
+        self.endpoint_count = len(pool.endpoints)
+        self.unschedulable: list[str] = []
+
+    @property
+    def makespan(self) -> float:
+        return self.finished - self.started
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.name,
+            "seed": self.seed,
+            "jobs": {
+                "total": self.jobs_total,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "retries": self.retries,
+                "unschedulable": sorted(self.unschedulable),
+            },
+            "schedule": {
+                "started": self.started,
+                "finished": self.finished,
+                "makespan_s": self.makespan,
+                "max_concurrency": self.max_concurrency,
+                "peak_inflight": self.peak_inflight,
+                "endpoints": self.endpoint_count,
+            },
+            "results": self.aggregator.report(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-stable encoding (the determinism contract)."""
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def export_jsonl(self, path: str) -> int:
+        return self.aggregator.export_jsonl(path)
+
+    def summary(self) -> str:
+        lines = [
+            f"campaign {self.name!r}: {self.jobs_completed}/"
+            f"{self.jobs_total} jobs ok, {self.jobs_failed} failed, "
+            f"{self.retries} retries",
+            f"  endpoints={self.endpoint_count} "
+            f"peak_inflight={self.peak_inflight} "
+            f"makespan={self.makespan:.3f}s (simulated)",
+        ]
+        for name, sketch in sorted(self.aggregator.total.sketches.items()):
+            stats = sketch.to_dict()
+            lines.append(
+                f"  {name}: n={stats['count']} mean={stats['mean']:.6g} "
+                f"p50={stats['p50']:.6g} p90={stats['p90']:.6g} "
+                f"p99={stats['p99']:.6g}"
+            )
+        counters = self.aggregator.total.counters.to_dict()
+        if counters:
+            rendered = " ".join(f"{k}={v:g}" for k, v in counters.items())
+            lines.append(f"  counters: {rendered}")
+        return "\n".join(lines)
+
+
+class CampaignScheduler:
+    """Multiplexes campaign jobs over a populated endpoint pool."""
+
+    def __init__(
+        self,
+        pool: EndpointPool,
+        jobs: list[CampaignJob],
+        name: str = "campaign",
+        max_concurrency: int = 16,
+        rate: Optional[float] = None,
+        burst: float = 1.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        seed: int = 0,
+        context: Optional[CampaignContext] = None,
+        aggregator: Optional[ResultAggregator] = None,
+    ) -> None:
+        self.pool = pool
+        self.sim = pool.sim
+        self.name = name
+        self.jobs = list(jobs)
+        self.max_concurrency = max(1, max_concurrency)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.bucket = TokenBucket(rate, burst, self.sim.now)
+        self.context = context or CampaignContext(sim=self.sim)
+        self.aggregator = aggregator or ResultAggregator(campaign=name)
+        self._obs = self.sim.obs
+
+        self._queue: deque[CampaignJob] = deque()
+        self._wake = self.sim.queue(name=f"{name}-wake")
+        self._inflight = 0
+        self._outstanding = 0  # queued + inflight + pending requeues
+        self._pending_requeues = 0  # backoff timers not yet fired
+        self._token_timer_armed = False
+        self.report = CampaignReport(name, seed, self.aggregator, pool)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> Generator:
+        """The campaign process body; returns a :class:`CampaignReport`.
+
+        Use as ``report = yield from scheduler.run()`` (or spawn it).
+        """
+        obs = self._obs
+        span = (
+            obs.span("fleet", "campaign", campaign=self.name,
+                     jobs=len(self.jobs))
+            if obs.enabled else None
+        )
+        self.report.jobs_total = len(self.jobs)
+        self.report.max_concurrency = self.max_concurrency
+        self.report.started = self.sim.now
+        self._queue.extend(self.jobs)
+        self._outstanding = len(self.jobs)
+        self._note_queue_depth()
+
+        while self._outstanding > 0:
+            dispatched = self._dispatch_ready()
+            if self._outstanding == 0:
+                break
+            if (
+                not dispatched
+                and self._inflight == 0
+                and self._pending_requeues == 0
+                and not self._token_timer_armed
+                and not self._any_dispatchable_later()
+            ):
+                # Nothing running, nothing will ever become runnable:
+                # fail the stranded jobs instead of deadlocking.
+                self._fail_stranded()
+                continue
+            item = yield self._wake.get()
+            self._handle_wake(item)
+
+        self.report.finished = self.sim.now
+        self.report.endpoint_count = len(self.pool.endpoints)
+        if span is not None:
+            span.end(completed=self.report.jobs_completed,
+                     failed=self.report.jobs_failed,
+                     retries=self.report.retries)
+        if obs.enabled:
+            obs.gauge("fleet.queue_depth").set(0)
+            obs.gauge("fleet.inflight").set(0)
+        return self.report
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _dispatch_ready(self) -> bool:
+        """Start every job that can start right now; True if any did."""
+        dispatched = False
+        while self._queue and self._inflight < self.max_concurrency:
+            if not self.bucket.try_take(self.sim.now):
+                self._arm_token_timer()
+                break
+            job = self._pop_dispatchable()
+            if job is None:
+                # Token not spent on anything: put it back.
+                self.bucket.tokens = min(self.bucket.burst,
+                                         self.bucket.tokens + 1.0)
+                break
+            pooled = self.pool.acquire(job.endpoint)
+            assert pooled is not None  # _pop_dispatchable checked
+            self._inflight += 1
+            self.report.peak_inflight = max(self.report.peak_inflight,
+                                            self._inflight)
+            dispatched = True
+            if self._obs.enabled:
+                self._obs.counter("fleet.jobs_dispatched").inc()
+                self._obs.gauge("fleet.inflight").set(self._inflight)
+            self._note_queue_depth()
+            self.sim.spawn(
+                self._worker(job, pooled),
+                name=f"{self.name}-{job.name}",
+            )
+        return dispatched
+
+    def _pop_dispatchable(self) -> Optional[CampaignJob]:
+        """First queued job whose endpoint (pin or any) is free now."""
+        for index, job in enumerate(self._queue):
+            target = (
+                self.pool.endpoints.get(job.endpoint)
+                if job.endpoint is not None else None
+            )
+            if job.endpoint is not None:
+                if target is not None and target.available:
+                    del self._queue[index]
+                    return job
+            else:
+                if any(p.available for p in self.pool.endpoints.values()):
+                    del self._queue[index]
+                    return job
+        return None
+
+    def _any_dispatchable_later(self) -> bool:
+        """Could any queued job ever run (pool may still be unpopulated)?"""
+        return any(self.pool.can_ever_run(job.endpoint)
+                   for job in self._queue)
+
+    def _fail_stranded(self) -> None:
+        stranded, self._queue = list(self._queue), deque()
+        for job in stranded:
+            job.error = job.error or "no endpoint available"
+            self.report.unschedulable.append(job.name)
+            self._finish_job(job, None, failed=True, endpoint_name="")
+        self._note_queue_depth()
+
+    def _arm_token_timer(self) -> None:
+        if self._token_timer_armed:
+            return
+        delay = self.bucket.delay_until_token(self.sim.now)
+        if delay <= 0.0:
+            return
+        self._token_timer_armed = True
+        self.sim.schedule(delay, self._wake.put, ("token",))
+
+    # -- worker ---------------------------------------------------------------
+
+    def _worker(self, job: CampaignJob, pooled: PooledEndpoint) -> Generator:
+        handle = pooled.handle
+        obs = self._obs
+        started = self.sim.now
+        ctx = CampaignContext(
+            sim=self.context.sim,
+            controller_host=self.context.controller_host,
+            target_address=self.context.target_address,
+            allocate_port=self.context.allocate_port,
+            attempt=job.attempts,
+            extras=self.context.extras,
+        )
+        try:
+            result = yield from job.run(handle, ctx)
+        except RESCHEDULABLE as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            yield from self._scrub_session(handle)
+            if obs.enabled:
+                obs.histogram("fleet.job_duration_s").observe(
+                    self.sim.now - started
+                )
+            self._wake.put(("failed", job, pooled))
+            return
+        if obs.enabled:
+            obs.histogram("fleet.job_duration_s").observe(
+                self.sim.now - started
+            )
+        self._wake.put(("done", job, pooled, result))
+
+    def _scrub_session(self, handle) -> Generator:
+        """Best-effort socket cleanup after a failed job, so a retry (or
+        the next job pooled onto this session) starts from a clean
+        sktid namespace."""
+        open_sockets = getattr(handle, "_open_sockets", None)
+        if not open_sockets:
+            return
+        for sktid in sorted(open_sockets):
+            try:
+                yield from handle.nclose(sktid)
+            except RESCHEDULABLE:
+                return
+
+    # -- completion handling --------------------------------------------------
+
+    def _handle_wake(self, item: tuple) -> None:
+        kind = item[0]
+        if kind == "token":
+            self._token_timer_armed = False
+            return
+        if kind == "requeue":
+            job = item[1]
+            self._pending_requeues -= 1
+            self._queue.append(job)
+            self._note_queue_depth()
+            return
+        if kind == "failed":
+            job, pooled = item[1], item[2]
+            self._inflight -= 1
+            self.pool.release(pooled, failed=True)
+            if self._obs.enabled:
+                self._obs.gauge("fleet.inflight").set(self._inflight)
+            if job.attempts < self.retry_policy.max_attempts:
+                delay = self.retry_policy.delay_for(job.attempts, self.rng)
+                job.attempts += 1
+                self.report.retries += 1
+                if self._obs.enabled:
+                    self._obs.counter("fleet.jobs_retried").inc()
+                    self._obs.emit("fleet", "job-retry", job=job.name,
+                                   attempt=job.attempts, delay=delay,
+                                   endpoint=pooled.name, error=job.error)
+                self._pending_requeues += 1
+                self.sim.schedule(delay, self._wake.put, ("requeue", job))
+            else:
+                self._harvest_deferred(pooled)
+                self._finish_job(job, None, failed=True,
+                                 endpoint_name=pooled.name)
+            return
+        # kind == "done"
+        job, pooled, result = item[1], item[2], item[3]
+        self._inflight -= 1
+        self.pool.release(pooled, failed=False)
+        if self._obs.enabled:
+            self._obs.gauge("fleet.inflight").set(self._inflight)
+        self._harvest_deferred(pooled)
+        self._finish_job(job, result, failed=False,
+                         endpoint_name=pooled.name)
+
+    def _harvest_deferred(self, pooled: PooledEndpoint) -> None:
+        """Fold newly observed late nsend_nowait failures into results."""
+        handle = pooled.handle
+        if handle is None:
+            return
+        errors = handle.deferred_errors
+        fresh = len(errors) - pooled.deferred_reported
+        if fresh <= 0:
+            return
+        pooled.deferred_reported = len(errors)
+        self.aggregator.total.counters.add("deferred_send_errors", fresh)
+        self.aggregator.endpoint(pooled.name).counters.add(
+            "deferred_send_errors", fresh
+        )
+        if self._obs.enabled:
+            self._obs.counter("fleet.deferred_send_errors").inc(fresh)
+            self._obs.emit("fleet", "deferred-errors",
+                           endpoint=pooled.name, fresh=fresh)
+
+    def _finish_job(self, job: CampaignJob, result, failed: bool,
+                    endpoint_name: str) -> None:
+        self._outstanding -= 1
+        metrics = None
+        if not failed and job.metrics is not None:
+            metrics = job.metrics(result)
+        self.aggregator.observe(endpoint_name or "(none)", metrics,
+                                failed=failed)
+        if failed:
+            self.report.jobs_failed += 1
+            if self._obs.enabled:
+                self._obs.counter("fleet.jobs_failed").inc()
+                self._obs.emit("fleet", "job-failed", job=job.name,
+                               endpoint=endpoint_name, error=job.error)
+        else:
+            self.report.jobs_completed += 1
+            if self._obs.enabled:
+                self._obs.counter("fleet.jobs_completed").inc()
+
+    def _note_queue_depth(self) -> None:
+        if self._obs.enabled:
+            self._obs.gauge("fleet.queue_depth").set(len(self._queue))

@@ -1,0 +1,262 @@
+"""Fleet testbed: a campaign-scale PacketLab deployment in one object.
+
+Where :class:`repro.core.testbed.Testbed` wires the paper's Figure 1
+cast once (one endpoint, one controller), a :class:`FleetTestbed` wires
+it at fleet scale:
+
+- a :func:`~repro.netsim.topology.fleet_topology` network with N
+  endpoint hosts (star/tree/mesh),
+- K operator keys with endpoints partitioned among them (so channel
+  sharding has real structure),
+- a :class:`~repro.fleet.shard.ShardedRendezvous` of one or more
+  rendezvous servers,
+- one controller host running the campaign's
+  :class:`~repro.controller.client.ControllerServer`,
+- an :class:`~repro.fleet.pool.EndpointPool` +
+  :class:`~repro.fleet.scheduler.CampaignScheduler` to drive jobs.
+
+``run_campaign`` performs the whole Figure 1 workflow end to end:
+publish to every shard, subscribe every endpoint at its shard, wait for
+the pool to populate from inbound sessions, schedule the jobs, and tear
+everything down — returning a deterministic
+:class:`~repro.fleet.scheduler.CampaignReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.controller.client import ControllerServer
+from repro.controller.session import Experimenter
+from repro.crypto.certificate import Restrictions
+from repro.crypto.keys import KeyPair
+from repro.endpoint.config import EndpointConfig
+from repro.endpoint.endpoint import Endpoint
+from repro.fleet.aggregate import ResultAggregator
+from repro.fleet.pool import EndpointPool
+from repro.fleet.scheduler import (
+    CampaignContext,
+    CampaignJob,
+    CampaignReport,
+    CampaignScheduler,
+)
+from repro.fleet.shard import ShardedRendezvous, subscribe_endpoint
+from repro.netsim.topology import fleet_topology
+from repro.rendezvous.descriptor import ExperimentDescriptor
+from repro.rendezvous.server import RendezvousServer
+from repro.util.retry import RetryPolicy
+
+DEFAULT_FLEET_PORT = 7000
+
+
+class FleetTestbed:
+    """N endpoints, K rendezvous shards, one campaign controller."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        endpoint_count: int = 20,
+        topology: str = "star",
+        shards: int = 1,
+        operator_count: int = 1,
+        seed: int = 0,
+        fanout: int = 8,
+        access_bandwidth_bps: float = 10e6,
+        access_delay: float = 0.010,
+        access_delay_spread: float = 0.5,
+        allow_raw: bool = True,
+        capture_buffer_bytes: int = 64 * 1024,
+        endpoint_reconnect: bool = True,
+    ) -> None:
+        if operator_count < 1 or operator_count > endpoint_count:
+            operator_count = max(1, min(operator_count, endpoint_count))
+        self.seed = seed
+        net, endpoint_hosts, controller_host, target_host = fleet_topology(
+            endpoint_count,
+            kind=topology,
+            fanout=fanout,
+            access_bandwidth_bps=access_bandwidth_bps,
+            access_delay=access_delay,
+            access_delay_spread=access_delay_spread,
+            seed=seed,
+        )
+        self.net = net
+        self.sim = net.sim
+        self.endpoint_hosts = endpoint_hosts
+        self.controller_host = controller_host
+        self.target_host = target_host
+
+        # Figure 1 cast, pluralized.
+        self.operators = [
+            KeyPair.from_name(f"fleet-operator-{index}")
+            for index in range(operator_count)
+        ]
+        self.rendezvous_operator = KeyPair.from_name("fleet-rdz-operator")
+        self.experimenter = Experimenter("fleet-experimenter")
+        for operator in self.operators:
+            self.experimenter.granted_endpoint_access(operator)
+        self.experimenter.granted_publish_access(self.rendezvous_operator)
+
+        self.endpoints: list[Endpoint] = []
+        for index, host in enumerate(endpoint_hosts):
+            operator = self.operators[index % operator_count]
+            config = EndpointConfig(
+                name=f"ep{index}",
+                trusted_key_ids=[operator.key_id],
+                capture_buffer_bytes=capture_buffer_bytes,
+                allow_raw=allow_raw,
+                reconnect=endpoint_reconnect,
+            )
+            self.endpoints.append(Endpoint(host, config))
+
+        self._used_ports: set[tuple[str, int]] = set()
+        self._next_port = DEFAULT_FLEET_PORT
+        self.rendezvous = ShardedRendezvous([
+            RendezvousServer(
+                controller_host,
+                self.allocate_port(),
+                trusted_publisher_key_ids=[self.rendezvous_operator.key_id],
+            )
+            for _ in range(max(1, shards))
+        ])
+
+    # -- ports ---------------------------------------------------------------
+
+    def allocate_port(self, host: Optional[object] = None) -> int:
+        """Next unused port on the controller host (collision-free even
+        with many controllers and rendezvous shards coexisting)."""
+        name = getattr(host, "name", None) or self.controller_host.name
+        while (name, self._next_port) in self._used_ports:
+            self._next_port += 1
+        port = self._next_port
+        self._used_ports.add((name, port))
+        self._next_port += 1
+        return port
+
+    # -- components ----------------------------------------------------------
+
+    @property
+    def target_address(self) -> int:
+        return self.target_host.primary_address()
+
+    def enable_telemetry(self, ring_capacity: Optional[int] = None):
+        obs = self.sim.obs
+        obs.enabled = True
+        return obs.ensure_ring_sink(ring_capacity)
+
+    def make_controller(
+        self,
+        experiment_name: str = "campaign",
+        priority: int = 0,
+        port: Optional[int] = None,
+        experiment_restrictions: Optional[Restrictions] = None,
+        experimenter: Optional[Experimenter] = None,
+        rpc_timeout: Optional[float] = None,
+    ) -> tuple[ControllerServer, ExperimentDescriptor]:
+        who = experimenter or self.experimenter
+        port = port or self.allocate_port()
+        descriptor = who.make_descriptor(
+            self.controller_host, port, experiment_name
+        )
+        identity = who.identity(
+            descriptor,
+            priority=priority,
+            experiment_restrictions=experiment_restrictions,
+        )
+        server = ControllerServer(
+            self.controller_host, port, identity, rpc_timeout=rpc_timeout
+        ).start()
+        return server, descriptor
+
+    def subscribe_fleet(self) -> None:
+        """Point every endpoint at its rendezvous shard(s)."""
+        for endpoint in self.endpoints:
+            subscribe_endpoint(endpoint, self.rendezvous)
+
+    # -- the campaign driver ---------------------------------------------------
+
+    def run_campaign(
+        self,
+        jobs: list[CampaignJob],
+        campaign_name: str = "campaign",
+        max_concurrency: int = 16,
+        rate: Optional[float] = None,
+        burst: float = 1.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        pool_policy: Optional[RetryPolicy] = None,
+        priority: int = 0,
+        rpc_timeout: Optional[float] = 5.0,
+        max_concurrent_per_endpoint: int = 1,
+        quarantine_after: Optional[int] = None,
+        populate_count: Optional[int] = None,
+        populate_timeout: float = 120.0,
+        timeout: float = 3600.0,
+        experiment_restrictions: Optional[Restrictions] = None,
+    ) -> CampaignReport:
+        """Publish, subscribe, populate, schedule, tear down — one call.
+
+        Deterministic: the same constructor seed and job list yield an
+        identical schedule and a byte-identical ``report.to_json()``.
+        """
+        self.rendezvous.start()
+        server, descriptor = self.make_controller(
+            campaign_name,
+            priority=priority,
+            rpc_timeout=rpc_timeout,
+            experiment_restrictions=experiment_restrictions,
+        )
+        pool = EndpointPool(
+            server,
+            policy=pool_policy,
+            seed=self.seed,
+            max_concurrent_per_endpoint=max_concurrent_per_endpoint,
+            quarantine_after=quarantine_after,
+        )
+        context = CampaignContext(
+            sim=self.sim,
+            controller_host=self.controller_host,
+            target_address=self.target_address,
+            allocate_port=self.allocate_port,
+        )
+        scheduler = CampaignScheduler(
+            pool,
+            jobs,
+            name=campaign_name,
+            max_concurrency=max_concurrency,
+            rate=rate,
+            burst=burst,
+            retry_policy=retry_policy,
+            seed=self.seed,
+            context=context,
+            aggregator=ResultAggregator(campaign=campaign_name),
+        )
+        want = populate_count if populate_count is not None \
+            else len(self.endpoints)
+
+        def driver() -> Generator:
+            results = yield from self.rendezvous.publish(
+                self.experimenter, self.controller_host, descriptor,
+                experiment_restrictions=experiment_restrictions,
+            )
+            rejected = {idx: reason for idx, (ok, reason) in results.items()
+                        if not ok}
+            if rejected:
+                raise RuntimeError(f"publish rejected by shards: {rejected}")
+            self.subscribe_fleet()
+            yield from pool.populate(want, timeout=populate_timeout)
+            report = yield from scheduler.run()
+            return report
+
+        try:
+            report = self.sim.run_process(
+                driver(), name=f"campaign-{campaign_name}", timeout=timeout
+            )
+        finally:
+            pool.shutdown()
+            server.stop()
+            self.rendezvous.stop()
+        return report
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)

@@ -13,7 +13,13 @@ from repro.netsim.kernel import Event, Process, Queue, SimError, Simulator, all_
 from repro.netsim.links import Link, LinkDirection, LinkStats
 from repro.netsim.nat import NatBox, natted_topology
 from repro.netsim.node import Interface, Node
-from repro.netsim.topology import Network, access_topology, describe, linear_topology
+from repro.netsim.topology import (
+    Network,
+    access_topology,
+    describe,
+    fleet_topology,
+    linear_topology,
+)
 from repro.netsim.trace import PacketTrace, TraceRecord
 
 __all__ = [
@@ -38,6 +44,7 @@ __all__ = [
     "all_of",
     "any_of",
     "describe",
+    "fleet_topology",
     "linear_topology",
     "natted_topology",
 ]

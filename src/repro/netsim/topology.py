@@ -252,6 +252,113 @@ def access_topology(
     return net, endpoint, controller, target
 
 
+def fleet_topology(
+    endpoint_count: int,
+    kind: str = "star",
+    fanout: int = 8,
+    access_bandwidth_bps: float = 10e6,
+    access_delay: float = 0.010,
+    access_delay_spread: float = 0.5,
+    core_delay: float = 0.005,
+    core_bandwidth_bps: float = 1e9,
+    seed: int = 0,
+    network: Optional[Network] = None,
+) -> tuple[Network, list[Node], Node, Node]:
+    """A measurement *fleet*: many endpoint hosts behind a shared core.
+
+    Three shapes, all with the controller and measurement target on the
+    core side (the PacketLab deployment model scaled out):
+
+    - ``star`` — every endpoint hangs off one core router,
+    - ``tree`` — an N-ary router tree (``fanout`` children per router);
+      endpoints attach round-robin to the deepest routers,
+    - ``mesh`` — a router ring with cross-chords; endpoints distribute
+      round-robin over the ring.
+
+    Access-link delays vary per endpoint by ``±access_delay_spread``
+    (fractional, seeded) so fleet-wide latency distributions are
+    non-degenerate yet fully deterministic.
+
+    Returns ``(network, endpoint_hosts, controller_host, target_host)``.
+    """
+    import random as _random
+
+    if endpoint_count < 1:
+        raise ValueError(f"endpoint_count must be >= 1, got {endpoint_count}")
+    net = network or Network()
+    rng = _random.Random(seed)
+
+    def access_delay_for() -> float:
+        spread = max(0.0, min(access_delay_spread, 0.95))
+        return access_delay * (1.0 + rng.uniform(-spread, spread))
+
+    if kind == "star":
+        core = net.add_router("core")
+        attach_points = [core]
+    elif kind == "tree":
+        fanout = max(2, fanout)
+        core = net.add_router("core")
+        level = [core]
+        depth = 0
+        # Grow until the deepest level has a router per `fanout` endpoints.
+        leaves_needed = max(1, -(-endpoint_count // fanout))
+        while len(level) < leaves_needed:
+            depth += 1
+            next_level = []
+            for parent in level:
+                for child_index in range(fanout):
+                    child = net.add_router(
+                        f"t{depth}-{parent.name}-{child_index}"
+                    )
+                    net.link(parent, child,
+                             bandwidth_bps=core_bandwidth_bps,
+                             delay=core_delay)
+                    next_level.append(child)
+                    if len(next_level) >= leaves_needed:
+                        break
+                if len(next_level) >= leaves_needed:
+                    break
+            level = next_level
+        attach_points = level
+    elif kind == "mesh":
+        ring_size = max(3, fanout)
+        routers = [net.add_router(f"m{index}") for index in range(ring_size)]
+        for index, router in enumerate(routers):
+            net.link(router, routers[(index + 1) % ring_size],
+                     bandwidth_bps=core_bandwidth_bps, delay=core_delay)
+        # Chords halve the ring diameter.
+        if ring_size >= 5:
+            half = ring_size // 2
+            for index in range(0, half, 2):
+                net.link(routers[index], routers[index + half],
+                         bandwidth_bps=core_bandwidth_bps, delay=core_delay)
+        core = routers[0]
+        attach_points = routers
+    else:
+        raise ValueError(f"unknown fleet topology kind: {kind!r}")
+
+    controller = net.add_host("controller")
+    target = net.add_host("target")
+    net.link(core, controller, bandwidth_bps=core_bandwidth_bps,
+             delay=core_delay)
+    target_attach = attach_points[len(attach_points) // 2]
+    net.link(target_attach, target, bandwidth_bps=core_bandwidth_bps,
+             delay=core_delay)
+
+    endpoints = []
+    for index in range(endpoint_count):
+        host = net.add_host(f"ep{index}")
+        net.link(
+            attach_points[index % len(attach_points)],
+            host,
+            bandwidth_bps=access_bandwidth_bps,
+            delay=access_delay_for(),
+        )
+        endpoints.append(host)
+    net.compute_routes()
+    return net, endpoints, controller, target
+
+
 def describe(network: Network) -> str:
     """Human-readable topology dump (handy in examples)."""
     lines = []

@@ -32,6 +32,7 @@ from repro.util.byteio import DecodeError
 
 @dataclass
 class StoredExperiment:
+    experiment_id: bytes  # descriptor hash — the stable identity
     descriptor_bytes: bytes
     delivery_chains: tuple[bytes, ...]
     channels: frozenset[bytes]  # key ids appearing in delivery chains
@@ -42,6 +43,7 @@ class Subscriber:
     stream: MessageStream
     channels: frozenset[bytes]
     outbox: Queue
+    ident: int = 0  # subscriber address, stable across reconnects
     alive: bool = True
 
 
@@ -56,6 +58,12 @@ class RendezvousServer:
         self.trusted_publisher_key_ids = list(trusted_publisher_key_ids or [])
         self.experiments: list[StoredExperiment] = []
         self.subscribers: list[Subscriber] = []
+        # (subscriber address, experiment id) pairs already offered.
+        # Survives stop()/restart() like the experiment store does, so a
+        # resubscribing endpoint is not re-offered experiments it already
+        # received (idempotent delivery).
+        self._delivered: set[tuple[int, bytes]] = set()
+        self.offers_deduplicated = 0
         self.publications_accepted = 0
         self.publications_rejected = 0
         self.experiments_delivered = 0
@@ -145,12 +153,22 @@ class RendezvousServer:
             obs.emit("rendezvous", "publish-accepted",
                      subscribers=len(self.subscribers))
         channels = self._chain_channels(message.delivery_chains)
+        # The descriptor decoded during validation; its hash is the
+        # experiment's stable identity. A republish of the same
+        # experiment replaces the stored entry instead of duplicating it.
+        experiment_id = ExperimentDescriptor.decode(message.descriptor).hash()
         stored = StoredExperiment(
+            experiment_id=experiment_id,
             descriptor_bytes=message.descriptor,
             delivery_chains=message.delivery_chains,
             channels=channels,
         )
-        self.experiments.append(stored)
+        for index, existing in enumerate(self.experiments):
+            if existing.experiment_id == experiment_id:
+                self.experiments[index] = stored
+                break
+        else:
+            self.experiments.append(stored)
         for subscriber in list(self.subscribers):
             self._offer(subscriber, stored)
 
@@ -201,6 +219,7 @@ class RendezvousServer:
             stream=stream,
             channels=frozenset(message.channels),
             outbox=self.node.sim.queue(name="rdz-sub-outbox"),
+            ident=stream.conn.remote_ip,
         )
         self.subscribers.append(subscriber)
         if self._obs.enabled:
@@ -243,6 +262,16 @@ class RendezvousServer:
             return
         if not (subscriber.channels & stored.channels):
             return
+        key = (subscriber.ident, stored.experiment_id)
+        if key in self._delivered:
+            # Idempotent delivery: this subscriber already received this
+            # experiment (before a restart, or on a previous
+            # subscription) — replays must not double-offer it.
+            self.offers_deduplicated += 1
+            if self._obs.enabled:
+                self._obs.counter("rendezvous.offers_deduplicated").inc()
+            return
+        self._delivered.add(key)
         chain = stored.delivery_chains[0] if stored.delivery_chains else b""
         self.experiments_delivered += 1
         if self._obs.enabled:

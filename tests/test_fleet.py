@@ -1,0 +1,348 @@
+"""Fleet orchestration tests: pool, scheduler, sharding, aggregation.
+
+Covers the campaign path end to end (sharded rendezvous -> endpoint
+pool -> scheduler -> aggregate report), plus the satellite concerns:
+multi-controller contention between two campaigns sharing an endpoint,
+port-allocation collisions with multiple rendezvous servers, and
+deferred ``nsend_nowait`` errors surfacing in campaign results.
+"""
+
+import pytest
+
+from repro.controller.client import SessionClosed
+from repro.controller.session import Experimenter
+from repro.core.testbed import Testbed
+from repro.experiments.campaign import ping_job
+from repro.fleet import (
+    CampaignJob,
+    CampaignScheduler,
+    CounterSet,
+    EndpointPool,
+    FleetTestbed,
+    QuantileSketch,
+    TokenBucket,
+    shard_for,
+)
+from repro.netsim.topology import fleet_topology
+from repro.util.retry import RetryPolicy
+
+
+# -- unit pieces --------------------------------------------------------------
+
+
+class TestQuantileSketch:
+    def test_quantiles_and_merge(self):
+        a = QuantileSketch()
+        b = QuantileSketch()
+        for value in range(1, 51):
+            a.observe(float(value))
+        for value in range(51, 101):
+            b.observe(float(value))
+        a.merge(b)
+        assert a.count == 100
+        assert a.min == 1.0 and a.max == 100.0
+        # ~5% relative error from the log-bucketing.
+        assert a.quantile(0.5) == pytest.approx(50.0, rel=0.11)
+        assert a.quantile(0.99) == pytest.approx(99.0, rel=0.11)
+
+    def test_underflow_bucket(self):
+        sketch = QuantileSketch()
+        sketch.observe(0.0)
+        sketch.observe(-1.0)
+        sketch.observe(5.0)
+        assert sketch.count == 3
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(0.99) == pytest.approx(5.0, rel=0.11)
+
+    def test_counterset_merge(self):
+        a = CounterSet()
+        b = CounterSet()
+        a.add("x", 2)
+        b.add("x", 3)
+        b.add("y")
+        a.merge(b)
+        assert a.to_dict() == {"x": 5, "y": 1}
+
+
+class TestTokenBucket:
+    def test_unlimited(self):
+        bucket = TokenBucket(None, 1.0, now=0.0)
+        assert all(bucket.try_take(0.0) for _ in range(100))
+
+    def test_rate_limits_and_refills(self):
+        bucket = TokenBucket(2.0, 1.0, now=0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        delay = bucket.delay_until_token(0.0)
+        assert delay == pytest.approx(0.5, abs=1e-6)
+        assert bucket.try_take(delay)
+
+    def test_burst_capacity(self):
+        bucket = TokenBucket(1.0, 3.0, now=0.0)
+        assert sum(bucket.try_take(0.0) for _ in range(5)) == 3
+
+
+class TestSharding:
+    def test_shard_for_stable_and_in_range(self):
+        channels = [bytes([i]) * 32 for i in range(40)]
+        for count in (1, 2, 3, 5):
+            indexes = [shard_for(ch, count) for ch in channels]
+            assert all(0 <= idx < count for idx in indexes)
+            assert indexes == [shard_for(ch, count) for ch in channels]
+        assert len({shard_for(ch, 5) for ch in channels}) > 1
+
+
+class TestFleetTopology:
+    @pytest.mark.parametrize("kind", ["star", "tree", "mesh"])
+    def test_generates_routable_fleet(self, kind):
+        net, endpoints, controller, target = fleet_topology(
+            10, kind=kind, fanout=3, seed=1
+        )
+        assert len(endpoints) == 10
+        # Every endpoint can route to controller and target.
+        for host in endpoints:
+            assert net.path_to(host, controller)[-1] == "controller"
+            assert net.path_to(host, target)[-1] == "target"
+
+    def test_access_delays_vary_deterministically(self):
+        net1, *_ = fleet_topology(6, seed=9)
+        net2, *_ = fleet_topology(6, seed=9)
+        delays1 = [link.forward.delay for link in net1.links]
+        delays2 = [link.forward.delay for link in net2.links]
+        assert delays1 == delays2
+        assert len(set(delays1)) > 2  # actually spread out
+
+
+# -- the campaign path --------------------------------------------------------
+
+
+def _noop_job(name, endpoint=None, hold=0.0):
+    """A trivial campaign job: one read_clock (plus an optional hold)."""
+
+    def run(handle, ctx):
+        ticks = yield from handle.read_clock()
+        if hold:
+            yield hold
+            yield from handle.read_clock()
+        return ticks
+
+    return CampaignJob(
+        name=name, run=run, endpoint=endpoint,
+        metrics=lambda ticks: {"counters": {"runs": 1}},
+    )
+
+
+class TestFleetCampaign:
+    def test_sharded_campaign_completes(self):
+        fleet = FleetTestbed(
+            endpoint_count=8, shards=2, operator_count=4, seed=2
+        )
+        report = fleet.run_campaign(
+            [ping_job(f"ping-{i}", count=2) for i in range(8)],
+            max_concurrency=8,
+        )
+        assert report.jobs_completed == 8
+        assert report.jobs_failed == 0
+        assert report.endpoint_count == 8
+        # All 8 endpoints subscribed across the shards and every offer
+        # stream merged into one pool.
+        assert fleet.rendezvous.experiments_delivered == 8
+        agg = report.aggregator.total
+        assert agg.counters.get("probes_received") == 16
+        assert agg.sketches["rtt_s"].count == 16
+        assert len(report.aggregator.per_endpoint) == 8
+
+    def test_same_seed_reports_byte_identical(self):
+        def one_run():
+            fleet = FleetTestbed(
+                endpoint_count=6, shards=2, operator_count=3, seed=5
+            )
+            return fleet.run_campaign(
+                [ping_job(f"ping-{i}", count=2) for i in range(6)],
+                max_concurrency=4,
+            )
+
+        first, second = one_run(), one_run()
+        assert first.to_json() == second.to_json()
+        assert first.aggregator.jsonl_lines() == second.aggregator.jsonl_lines()
+
+    def test_concurrency_cap_respected(self):
+        fleet = FleetTestbed(endpoint_count=6, seed=1)
+        report = fleet.run_campaign(
+            [_noop_job(f"job-{i}", hold=1.0) for i in range(6)],
+            max_concurrency=2,
+        )
+        assert report.jobs_completed == 6
+        assert report.peak_inflight <= 2
+
+    def test_failure_rescheduling(self):
+        """A job that fails twice then succeeds is retried with backoff
+        and still completes."""
+        testbed = Testbed()
+        attempts = []
+
+        def run(handle, ctx):
+            attempts.append(ctx.attempt)
+            if len(attempts) < 3:
+                raise SessionClosed("synthetic fleet fault")
+            ticks = yield from handle.read_clock()
+            return ticks
+
+        job = CampaignJob(
+            name="flaky", run=run,
+            metrics=lambda t: {"counters": {"runs": 1}},
+        )
+        report = testbed.run_campaign(
+            [job],
+            retry_policy=RetryPolicy(max_attempts=4, base_delay=0.1,
+                                     jitter=0.0),
+        )
+        assert attempts == [0, 1, 2]
+        assert report.jobs_completed == 1
+        assert report.retries == 2
+        assert report.jobs_failed == 0
+
+    def test_exhausted_retries_fail_job(self):
+        testbed = Testbed()
+
+        def run(handle, ctx):
+            raise SessionClosed("always down")
+            yield  # pragma: no cover
+
+        report = testbed.run_campaign(
+            [CampaignJob(name="doomed", run=run), _noop_job("fine")],
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.05,
+                                     jitter=0.0),
+        )
+        assert report.jobs_failed == 1
+        assert report.jobs_completed == 1
+        assert report.retries == 2
+        assert report.aggregator.total.failures == 1
+
+    def test_pinned_job_to_unknown_endpoint_fails_cleanly(self):
+        testbed = Testbed()
+        report = testbed.run_campaign(
+            [_noop_job("ok"), _noop_job("lost", endpoint="no-such-ep")],
+        )
+        assert report.jobs_completed == 1
+        assert report.jobs_failed == 1
+        assert report.unschedulable == ["lost"]
+
+    def test_rate_limited_admission(self):
+        """rate=1/s with burst 1 spaces 4 session starts ~1 s apart."""
+        testbed = Testbed()
+        report = testbed.run_campaign(
+            [_noop_job(f"job-{i}") for i in range(4)],
+            rate=1.0, burst=1.0, max_concurrency=4,
+        )
+        assert report.jobs_completed == 4
+        assert report.makespan >= 2.9  # 3 refill waits at 1 token/s
+
+    def test_deferred_nsend_errors_surface_in_report(self):
+        """S2: late nsend_nowait failures land in campaign rollups."""
+        from repro.proto.constants import SOCK_UDP, ST_OK
+
+        testbed = Testbed()
+
+        def run(handle, ctx):
+            status = yield from handle.nopen(0, SOCK_UDP, locport=0,
+                                            remaddr=ctx.target_address,
+                                            remport=9)
+            assert status == ST_OK
+            # Fire-and-forget on a socket that was never opened: the
+            # endpoint's failure Result arrives with no waiter.
+            handle.nsend_nowait(7, 0, b"into the void")
+            yield from handle.read_clock()  # drain the late Result
+            yield from handle.nclose(0)
+            return True
+
+        report = testbed.run_campaign(
+            [CampaignJob(name="leaky", run=run,
+                         metrics=lambda r: {"counters": {"runs": 1}})],
+        )
+        assert report.jobs_completed == 1
+        agg = report.aggregator
+        assert agg.total.counters.get("deferred_send_errors") == 1
+        (endpoint_rollup,) = agg.per_endpoint.values()
+        assert endpoint_rollup.counters.get("deferred_send_errors") == 1
+
+
+class TestCampaignContention:
+    def test_two_campaigns_share_endpoint_via_arbitration(self):
+        """S4: two campaigns on one endpoint — the higher-priority
+        campaign preempts, the lower one resumes and still finishes."""
+        testbed = Testbed()
+        urgent = Experimenter("urgent-team")
+        urgent.granted_endpoint_access(testbed.operator)
+        low_server, low_desc = testbed.make_controller(
+            "bg-campaign", priority=1
+        )
+        high_server, high_desc = testbed.make_controller(
+            "urgent-campaign", priority=5, experimenter=urgent
+        )
+        low_pool = EndpointPool(low_server, seed=1)
+        high_pool = EndpointPool(high_server, seed=2)
+        low_sched = CampaignScheduler(
+            low_pool, [_noop_job("bg-0", hold=6.0)], name="bg",
+        )
+        high_sched = CampaignScheduler(
+            high_pool, [_noop_job("urgent-0", hold=3.0)], name="urgent",
+        )
+
+        def low_driver():
+            yield from low_pool.populate(1)
+            report = yield from low_sched.run()
+            low_pool.shutdown()
+            return report
+
+        def high_driver():
+            yield 2.0  # arrive while the background campaign holds it
+            testbed.connect_endpoint(high_desc)
+            yield from high_pool.populate(1)
+            report = yield from high_sched.run()
+            high_pool.shutdown()  # bye releases the endpoint to bg
+            return report
+
+        testbed.connect_endpoint(low_desc)
+        low_proc = testbed.sim.spawn(low_driver(), name="bg-campaign")
+        high_proc = testbed.sim.spawn(high_driver(), name="urgent-campaign")
+        testbed.sim.run(until=300.0)
+
+        assert not low_proc.alive and low_proc.error is None, low_proc.error
+        assert not high_proc.alive and high_proc.error is None, high_proc.error
+        assert low_proc.result.jobs_completed == 1
+        assert high_proc.result.jobs_completed == 1
+        # The endpoint's arbitration actually engaged.
+        assert testbed.endpoint.contention.preemptions >= 1
+        assert testbed.endpoint.contention.resumptions >= 1
+        # The background campaign was held across the urgent one.
+        assert low_proc.result.finished >= high_proc.result.finished
+
+
+class TestPortAllocation:
+    def test_allocator_skips_rendezvous_ports(self):
+        """S3: many controllers + rendezvous servers never collide."""
+        testbed = Testbed()
+        rdz1 = testbed.start_rendezvous()
+        rdz2 = testbed.start_rendezvous(port=None)
+        assert rdz1.port != rdz2.port
+        ports = [testbed.allocate_port() for _ in range(150)]
+        assert len(set(ports)) == 150
+        assert rdz1.port not in ports
+        assert rdz2.port not in ports
+        assert testbed.rendezvous_servers == [rdz1, rdz2]
+
+    def test_duplicate_rendezvous_port_rejected(self):
+        testbed = Testbed()
+        testbed.start_rendezvous()
+        with pytest.raises(RuntimeError):
+            testbed.start_rendezvous()  # same default port
+
+    def test_explicit_controller_port_reserved(self):
+        testbed = Testbed()
+        server, _ = testbed.make_controller(port=7010)
+        try:
+            ports = [testbed.allocate_port() for _ in range(50)]
+            assert 7010 not in ports
+        finally:
+            server.stop()

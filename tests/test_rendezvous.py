@@ -171,3 +171,70 @@ class TestFigure1Flow:
         testbed.sim.run_process(run(), timeout=60.0)
         # Both broadcasts happened, but the endpoint deduplicated.
         assert len(testbed.endpoint._seen_descriptors) == 1
+
+
+class TestIdempotentDelivery:
+    """Offer delivery is idempotent per (subscriber, experiment id)."""
+
+    def test_no_duplicate_offer_after_restart_and_resubscribe(self):
+        testbed = Testbed(endpoint_reconnect=True)
+        rdz = testbed.start_rendezvous()
+        testbed.endpoint.start_rendezvous(
+            testbed.controller_host.primary_address(), rdz.port
+        )
+        server, descriptor = testbed.make_controller("idempotent")
+
+        def run():
+            ok, reason = yield from testbed.experimenter.publish(
+                testbed.controller_host,
+                testbed.controller_host.primary_address(),
+                rdz.port,
+                descriptor,
+            )
+            assert ok, reason
+            handle = yield server.wait_endpoint()
+            yield from handle.read_clock()
+            handle.bye()
+            yield 1.0
+            # Server restart: stored experiments replay to resubscribers.
+            rdz.stop()
+            yield 1.0
+            rdz.restart()
+            yield 30.0  # supervised endpoint resubscribes with backoff
+            return None
+
+        testbed.sim.run_process(run(), timeout=120.0)
+        assert rdz.restarts == 1
+        # The replay reached the subscriber but was recognized as already
+        # delivered — exactly one offer ever went out for this experiment.
+        assert rdz.experiments_delivered == 1
+        assert rdz.offers_deduplicated >= 1
+
+    def test_republish_replaces_stored_entry(self):
+        testbed = Testbed()
+        rdz = testbed.start_rendezvous()
+        testbed.endpoint.start_rendezvous(
+            testbed.controller_host.primary_address(), rdz.port
+        )
+        server, descriptor = testbed.make_controller("replayed")
+
+        def run():
+            yield 1.0  # let the subscription land before publishing
+            assert len(rdz.subscribers) == 1
+            for _ in range(3):
+                ok, reason = yield from testbed.experimenter.publish(
+                    testbed.controller_host,
+                    testbed.controller_host.primary_address(),
+                    rdz.port,
+                    descriptor,
+                )
+                assert ok, reason
+            yield 5.0
+            return None
+
+        testbed.sim.run_process(run(), timeout=60.0)
+        # One stored entry, one offer — republishing the same experiment
+        # neither duplicates the store nor re-offers it.
+        assert len(rdz.experiments) == 1
+        assert rdz.experiments_delivered == 1
+        assert rdz.offers_deduplicated == 2
