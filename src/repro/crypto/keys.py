@@ -57,5 +57,26 @@ class KeyPair:
         return f"<KeyPair {self.key_id.hex()[:12]}>"
 
 
+# Verification outcomes memoized by digest of (key, message, signature).
+# Pure-Python ed25519 verification costs milliseconds, and fleet campaigns
+# verify the *same* experimenter certificate chain once per endpoint —
+# 10k endpoints would otherwise redo identical big-integer math 10k times.
+# Keyed by hash (not the raw triple) to keep entries small; bounded so
+# adversarial fuzz inputs cannot grow it without limit.
+_VERIFY_CACHE: dict[bytes, bool] = {}
+_VERIFY_CACHE_MAX = 4096
+
+
 def verify_signature(public_key: bytes, message: bytes, signature: bytes) -> bool:
-    return ed25519.verify(public_key, message, signature)
+    digest = hashlib.sha256(
+        b"%d:%d:" % (len(public_key), len(message))
+        + public_key + message + signature
+    ).digest()
+    cached = _VERIFY_CACHE.get(digest)
+    if cached is not None:
+        return cached
+    result = ed25519.verify(public_key, message, signature)
+    if len(_VERIFY_CACHE) >= _VERIFY_CACHE_MAX:
+        _VERIFY_CACHE.clear()
+    _VERIFY_CACHE[digest] = result
+    return result

@@ -21,6 +21,7 @@ exactly 200 handshakes, not 400.
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Generator, Optional
 from zlib import crc32
 
@@ -42,6 +43,7 @@ class PooledEndpoint:
     __slots__ = (
         "name", "handle", "queue", "max_concurrent", "inflight",
         "jobs_completed", "failures", "quarantined", "deferred_reported",
+        "_avail_queued",
     )
 
     def __init__(self, name: str, queue: Queue,
@@ -57,6 +59,9 @@ class PooledEndpoint:
         # How many of handle.deferred_errors have already been folded
         # into campaign results (late nsend_nowait failures).
         self.deferred_reported = 0
+        # True while this endpoint's name sits in the pool's availability
+        # heap (entries are invalidated lazily, not removed).
+        self._avail_queued = False
 
     @property
     def available(self) -> bool:
@@ -87,6 +92,14 @@ class EndpointPool:
         # unpinned work (None = never quarantine).
         self.quarantine_after = quarantine_after
         self.endpoints: dict[str, PooledEndpoint] = {}
+        # Min-heap of names with (possibly stale) free capacity: popping
+        # the smallest name reproduces the old sorted-scan dispatch order
+        # without an O(N log N) sort per acquire. Entries are checked
+        # against the live `available` flag on pop.
+        self._avail: list[str] = []
+        # Endpoints that could ever take unpinned work (adopted and not
+        # quarantined) — keeps can_ever_run(None) O(1).
+        self._usable = 0
         self._obs = self.sim.obs
         self._router_proc = None
         self._population_event = None
@@ -123,6 +136,8 @@ class EndpointPool:
                 endpoints_queue=pooled.queue,
             )
             self.endpoints[name] = pooled
+            self._usable += 1
+            self._mark_available(pooled)
             if self._obs.enabled:
                 self._obs.counter("fleet.endpoints_adopted").inc()
                 self._obs.gauge("fleet.pool_size").set(len(self.endpoints))
@@ -166,6 +181,25 @@ class EndpointPool:
 
     # -- scheduling support ---------------------------------------------------
 
+    def _mark_available(self, pooled: PooledEndpoint) -> None:
+        """Enqueue an endpoint that (re)gained free capacity."""
+        if not pooled._avail_queued and pooled.available:
+            pooled._avail_queued = True
+            heapq.heappush(self._avail, pooled.name)
+
+    def has_available(self) -> bool:
+        """True if any endpoint has free capacity right now (O(1) am.)."""
+        avail = self._avail
+        endpoints = self.endpoints
+        while avail:
+            pooled = endpoints[avail[0]]
+            if pooled.available:
+                return True
+            # Stale entry (slot taken or quarantined since push): drop.
+            heapq.heappop(avail)
+            pooled._avail_queued = False
+        return False
+
     def acquire(self, pinned: Optional[str] = None) -> Optional[PooledEndpoint]:
         """Claim an endpoint slot, or None if nothing suitable is free.
 
@@ -178,10 +212,16 @@ class EndpointPool:
                 pooled.inflight += 1
                 return pooled
             return None
-        for name in sorted(self.endpoints):
-            pooled = self.endpoints[name]
+        avail = self._avail
+        endpoints = self.endpoints
+        while avail:
+            pooled = endpoints[heapq.heappop(avail)]
+            pooled._avail_queued = False
             if pooled.available:
                 pooled.inflight += 1
+                # Multi-slot endpoints stay in the heap while capacity
+                # remains.
+                self._mark_available(pooled)
                 return pooled
         return None
 
@@ -195,6 +235,7 @@ class EndpointPool:
                 and not pooled.quarantined
             ):
                 pooled.quarantined = True
+                self._usable -= 1
                 if self._obs.enabled:
                     self._obs.counter("fleet.endpoints_quarantined").inc()
                     self._obs.emit("fleet", "endpoint-quarantined",
@@ -202,6 +243,9 @@ class EndpointPool:
                                    failures=pooled.failures)
         else:
             pooled.jobs_completed += 1
+        # Either branch can free a slot (quarantine gates via
+        # `available`, so _mark_available is a no-op there).
+        self._mark_available(pooled)
 
     def can_ever_run(self, pinned: Optional[str] = None) -> bool:
         """Could a job with this pin ever be dispatched (ignoring load)?"""
@@ -209,10 +253,7 @@ class EndpointPool:
             pooled = self.endpoints.get(pinned)
             return pooled is not None and pooled.handle is not None \
                 and not pooled.quarantined
-        return any(
-            pooled.handle is not None and not pooled.quarantined
-            for pooled in self.endpoints.values()
-        )
+        return self._usable > 0
 
     # -- teardown -------------------------------------------------------------
 

@@ -214,6 +214,9 @@ class CampaignScheduler:
         self._obs = self.sim.obs
 
         self._queue: deque[CampaignJob] = deque()
+        # Count of queued jobs pinned to a named endpoint; while zero the
+        # dispatcher can pop the queue head without scanning.
+        self._pinned_queued = 0
         self._wake = self.sim.queue(name=f"{name}-wake")
         self._inflight = 0
         self._outstanding = 0  # queued + inflight + pending requeues
@@ -238,6 +241,9 @@ class CampaignScheduler:
         self.report.max_concurrency = self.max_concurrency
         self.report.started = self.sim.now
         self._queue.extend(self.jobs)
+        self._pinned_queued = sum(
+            1 for job in self.jobs if job.endpoint is not None
+        )
         self._outstanding = len(self.jobs)
         self._note_queue_depth()
 
@@ -258,6 +264,15 @@ class CampaignScheduler:
                 continue
             item = yield self._wake.get()
             self._handle_wake(item)
+            # Drain every wake already queued at this instant before
+            # re-dispatching: N same-tick completions cost one dispatch
+            # pass instead of N (handlers are synchronous, so batching
+            # cannot change what each wake does).
+            while True:
+                item = self._wake.try_get()
+                if item is None:
+                    break
+                self._handle_wake(item)
 
         self.report.finished = self.sim.now
         self.report.endpoint_count = len(self.pool.endpoints)
@@ -303,28 +318,37 @@ class CampaignScheduler:
 
     def _pop_dispatchable(self) -> Optional[CampaignJob]:
         """First queued job whose endpoint (pin or any) is free now."""
+        has_free = self.pool.has_available()
+        if self._pinned_queued == 0:
+            # Fast path for the common all-unpinned campaign: the head
+            # job is dispatchable iff anything is free.
+            if not has_free:
+                return None
+            return self._queue.popleft()
         for index, job in enumerate(self._queue):
-            target = (
-                self.pool.endpoints.get(job.endpoint)
-                if job.endpoint is not None else None
-            )
             if job.endpoint is not None:
+                target = self.pool.endpoints.get(job.endpoint)
                 if target is not None and target.available:
                     del self._queue[index]
+                    self._pinned_queued -= 1
                     return job
-            else:
-                if any(p.available for p in self.pool.endpoints.values()):
-                    del self._queue[index]
-                    return job
+            elif has_free:
+                del self._queue[index]
+                return job
         return None
 
     def _any_dispatchable_later(self) -> bool:
         """Could any queued job ever run (pool may still be unpopulated)?"""
-        return any(self.pool.can_ever_run(job.endpoint)
-                   for job in self._queue)
+        unpinned_ok = self.pool.can_ever_run(None)
+        return any(
+            unpinned_ok if job.endpoint is None
+            else self.pool.can_ever_run(job.endpoint)
+            for job in self._queue
+        )
 
     def _fail_stranded(self) -> None:
         stranded, self._queue = list(self._queue), deque()
+        self._pinned_queued = 0
         for job in stranded:
             job.error = job.error or "no endpoint available"
             self.report.unschedulable.append(job.name)
@@ -395,6 +419,8 @@ class CampaignScheduler:
             job = item[1]
             self._pending_requeues -= 1
             self._queue.append(job)
+            if job.endpoint is not None:
+                self._pinned_queued += 1
             self._note_queue_depth()
             return
         if kind == "failed":

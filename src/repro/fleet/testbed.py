@@ -41,7 +41,8 @@ from repro.fleet.scheduler import (
     CampaignScheduler,
 )
 from repro.fleet.shard import ShardedRendezvous, subscribe_endpoint
-from repro.netsim.topology import fleet_topology
+from repro.netsim.kernel import EventScheduler, Simulator
+from repro.netsim.topology import Network, fleet_topology
 from repro.rendezvous.descriptor import ExperimentDescriptor
 from repro.rendezvous.server import RendezvousServer
 from repro.util.retry import RetryPolicy
@@ -68,6 +69,7 @@ class FleetTestbed:
         allow_raw: bool = True,
         capture_buffer_bytes: int = 64 * 1024,
         endpoint_reconnect: bool = True,
+        scheduler: "str | EventScheduler | None" = None,
     ) -> None:
         if operator_count < 1 or operator_count > endpoint_count:
             operator_count = max(1, min(operator_count, endpoint_count))
@@ -80,6 +82,7 @@ class FleetTestbed:
             access_delay=access_delay,
             access_delay_spread=access_delay_spread,
             seed=seed,
+            network=Network(Simulator(scheduler=scheduler)),
         )
         self.net = net
         self.sim = net.sim

@@ -24,7 +24,9 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.netsim.kernel import Simulator
+from collections import deque
+
+from repro.netsim.kernel import Simulator, Timer
 from repro.packet.ipv4 import IPv4Packet
 
 if TYPE_CHECKING:
@@ -86,6 +88,13 @@ class LinkDirection:
         self.loss_rate = loss_rate
         self._rng = rng
         self._busy_until = 0.0
+        # In-flight packets awaiting delivery, ordered by arrival time.
+        # One armed timer covers the head of the queue; a timer firing
+        # drains every due arrival in a batch, so a bulk transfer costs
+        # one scheduler entry per wave instead of one per packet.
+        self._pending: deque[tuple[float, IPv4Packet]] = deque()
+        self._timer: Optional[Timer] = None
+        self._delivering = False
         self.dst_iface: Optional["Interface"] = None
         self.stats = LinkStats()
         self._observers: list[LinkObserver] = []
@@ -199,19 +208,61 @@ class LinkDirection:
             ):
                 # A back-to-back second copy of the frame.
                 faults.plan.note_packet_fault("packet-duplicated", self, packet)
-                self._sim.schedule_at(arrival + tx_time, self._deliver, packet)
+                self._enqueue_delivery(arrival + tx_time, packet)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += size
         if watched:
             self._notify(packet, "sent")
-        self._sim.schedule_at(arrival, self._deliver, packet)
+        self._enqueue_delivery(arrival, packet)
         return True
 
-    def _deliver(self, packet: IPv4Packet) -> None:
+    def _enqueue_delivery(self, arrival: float, packet: IPv4Packet) -> None:
+        """Queue a packet for arrival, keeping the queue arrival-sorted.
+
+        Arrivals are monotonic on the common path (``busy_until`` only
+        advances), so this is an O(1) append; jitter and fault reordering
+        occasionally require a short linear insert from the tail.
+        """
+        pending = self._pending
+        if pending and arrival < pending[-1][0]:
+            index = len(pending) - 1
+            while index > 0 and pending[index - 1][0] > arrival:
+                index -= 1
+            pending.insert(index, (arrival, packet))
+        else:
+            pending.append((arrival, packet))
+        if not self._delivering:
+            head = pending[0][0]
+            timer = self._timer
+            if timer is None or timer.cancelled:
+                self._timer = self._sim.schedule_at(head, self._deliver_due)
+            elif head < timer.time:
+                # New head arrives before the armed timer: re-arm earlier.
+                timer.cancel()
+                self._timer = self._sim.schedule_at(head, self._deliver_due)
+
+    def _deliver_due(self) -> None:
+        """Deliver every packet whose arrival time has been reached."""
         assert self.dst_iface is not None
-        if self._observers or self._obs.enabled:
-            self._notify(packet, "delivered")
-        self.dst_iface.deliver(packet)
+        pending = self._pending
+        now = self._sim.now
+        deliver = self.dst_iface.deliver
+        # Reentrancy guard: a delivery can synchronously forward onto this
+        # same direction; new arrivals are strictly in the future (positive
+        # serialization time), so they wait for the re-arm below.
+        self._delivering = True
+        try:
+            while pending and pending[0][0] <= now:
+                packet = pending.popleft()[1]
+                if self._observers or self._obs.enabled:
+                    self._notify(packet, "delivered")
+                deliver(packet)
+        finally:
+            self._delivering = False
+        if pending:
+            self._timer = self._sim.schedule_at(pending[0][0], self._deliver_due)
+        else:
+            self._timer = None
 
 
 class Link:

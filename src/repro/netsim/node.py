@@ -34,8 +34,12 @@ class Interface:
         return self._tx is not None
 
     def configure(self, addr: int, prefix_len: int = 24) -> "Interface":
+        if self.addr:
+            self.node._local_addrs.discard(self.addr)
         self.addr = addr
         self.prefix_len = prefix_len
+        if addr:
+            self.node._local_addrs.add(addr)
         return self
 
     def attach(self, tx: LinkDirection) -> None:
@@ -86,6 +90,11 @@ class Node:
         self.clock = HostClock(sim, offset=clock_offset, skew=clock_skew)
         self.interfaces: list[Interface] = []
         self.routes: list[Route] = []
+        # Exact-match (/32) next-hop table: one dict probe replaces the
+        # linear longest-prefix scan on the forwarding fast path. Filled
+        # by Network.compute_routes / fleet route installation.
+        self.route_table: dict[int, Interface] = {}
+        self._local_addrs: set[int] = set()
         self.ip = IpLayer(self)
         self.icmp = IcmpLayer(self)
         self.udp = UdpLayer(self)
@@ -99,7 +108,14 @@ class Node:
         return iface
 
     def add_route(self, prefix: int, prefix_len: int, iface: Interface) -> None:
-        self.routes.append(Route(prefix, prefix_len, iface))
+        if prefix_len == 32:
+            self.route_table[prefix] = iface
+        else:
+            self.routes.append(Route(prefix, prefix_len, iface))
+
+    def add_exact_route(self, addr: int, iface: Interface) -> None:
+        """Install a host (/32) route in the exact-match table."""
+        self.route_table[addr] = iface
 
     def set_default_route(self, iface: Interface) -> None:
         self.add_route(0, 0, iface)
@@ -110,7 +126,7 @@ class Node:
         return [iface.addr for iface in self.interfaces if iface.addr]
 
     def is_local_address(self, addr: int) -> bool:
-        return any(iface.addr == addr for iface in self.interfaces if iface.addr)
+        return addr in self._local_addrs
 
     def primary_address(self) -> int:
         for iface in self.interfaces:
@@ -122,6 +138,9 @@ class Node:
         """True longest-prefix-match across connected networks and the
         routing table (a /32 host route beats a directly connected /30,
         so globally computed shortest paths override link adjacency)."""
+        exact = self.route_table.get(dst)
+        if exact is not None:
+            return exact
         best_iface: Optional[Interface] = None
         best_len = -1
         for iface in self.interfaces:

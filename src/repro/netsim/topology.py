@@ -111,7 +111,26 @@ class Network:
 
     def compute_routes(self) -> None:
         """Install shortest-path (by propagation delay) host routes
-        everywhere."""
+        everywhere.
+
+        Routes land in each node's exact-match ``route_table`` (one dict
+        probe per forwarded packet). Purpose-built fleet topologies skip
+        this generic all-pairs pass; see :func:`fleet_topology`.
+        """
+        adjacency = self._build_adjacency()
+        for name, node in self.nodes.items():
+            first_hop = self._dijkstra_first_hops(name, adjacency)
+            node.routes.clear()
+            node.route_table.clear()
+            table = node.route_table
+            for dest_name, iface in first_hop.items():
+                if dest_name == name:
+                    continue
+                for dest_iface in self.nodes[dest_name].interfaces:
+                    if dest_iface.addr:
+                        table[dest_iface.addr] = iface
+
+    def _build_adjacency(self) -> dict[str, list[tuple[str, float, Interface]]]:
         adjacency: dict[str, list[tuple[str, float, Interface]]] = {
             name: [] for name in self.nodes
         }
@@ -125,15 +144,7 @@ class Network:
             adjacency[iface_b.node.name].append(
                 (iface_a.node.name, link.reverse.delay, iface_b)
             )
-        for name, node in self.nodes.items():
-            first_hop = self._dijkstra_first_hops(name, adjacency)
-            node.routes.clear()
-            for dest_name, iface in first_hop.items():
-                if dest_name == name:
-                    continue
-                for dest_iface in self.nodes[dest_name].interfaces:
-                    if dest_iface.addr:
-                        node.add_route(dest_iface.addr, 32, iface)
+        return adjacency
 
     def _dijkstra_first_hops(
         self,
@@ -286,12 +297,28 @@ def fleet_topology(
     if endpoint_count < 1:
         raise ValueError(f"endpoint_count must be >= 1, got {endpoint_count}")
     net = network or Network()
+    # The specialized route install below assumes it sees every node and
+    # link; a pre-populated network falls back to the generic all-pairs
+    # pass at the end.
+    preexisting = bool(net.nodes) or bool(net.links)
     rng = _random.Random(seed)
+
+    # Parent -> child edges recorded during construction; the specialized
+    # route installers consume these instead of re-deriving the shape.
+    edges: list[tuple[Node, Node, Interface, Interface]] = []
+
+    def attach(parent: Node, child: Node, **kwargs) -> None:
+        link = net.link(parent, child, **kwargs)
+        parent_iface = link.reverse.dst_iface
+        child_iface = link.forward.dst_iface
+        assert parent_iface is not None and child_iface is not None
+        edges.append((parent, child, parent_iface, child_iface))
 
     def access_delay_for() -> float:
         spread = max(0.0, min(access_delay_spread, 0.95))
         return access_delay * (1.0 + rng.uniform(-spread, spread))
 
+    routers: list[Node] = []
     if kind == "star":
         core = net.add_router("core")
         attach_points = [core]
@@ -310,9 +337,9 @@ def fleet_topology(
                     child = net.add_router(
                         f"t{depth}-{parent.name}-{child_index}"
                     )
-                    net.link(parent, child,
-                             bandwidth_bps=core_bandwidth_bps,
-                             delay=core_delay)
+                    attach(parent, child,
+                           bandwidth_bps=core_bandwidth_bps,
+                           delay=core_delay)
                     next_level.append(child)
                     if len(next_level) >= leaves_needed:
                         break
@@ -339,24 +366,89 @@ def fleet_topology(
 
     controller = net.add_host("controller")
     target = net.add_host("target")
-    net.link(core, controller, bandwidth_bps=core_bandwidth_bps,
-             delay=core_delay)
+    attach(core, controller, bandwidth_bps=core_bandwidth_bps,
+           delay=core_delay)
     target_attach = attach_points[len(attach_points) // 2]
-    net.link(target_attach, target, bandwidth_bps=core_bandwidth_bps,
-             delay=core_delay)
+    attach(target_attach, target, bandwidth_bps=core_bandwidth_bps,
+           delay=core_delay)
 
     endpoints = []
     for index in range(endpoint_count):
         host = net.add_host(f"ep{index}")
-        net.link(
+        attach(
             attach_points[index % len(attach_points)],
             host,
             bandwidth_bps=access_bandwidth_bps,
             delay=access_delay_for(),
         )
         endpoints.append(host)
-    net.compute_routes()
+    if preexisting:
+        net.compute_routes()
+    elif kind == "mesh":
+        _install_mesh_routes(net, routers, edges)
+    else:
+        _install_tree_routes(net, core, edges)
     return net, endpoints, controller, target
+
+
+def _install_tree_routes(
+    net: Network,
+    root: Node,
+    edges: list[tuple[Node, Node, Interface, Interface]],
+) -> None:
+    """Shortest-path routes for a pure tree in O(nodes * depth).
+
+    One DFS from the root installs, at every router, exact-match routes
+    for each child subtree's addresses; every non-root node also gets a
+    default route toward its parent. At each hop the exact table wins
+    when the destination is below, the default points up otherwise —
+    exactly the shortest path in a tree, without the per-node Dijkstra
+    the generic :meth:`Network.compute_routes` pays (quadratic at fleet
+    scale).
+    """
+    children: dict[str, list[tuple[Node, Interface]]] = {}
+    uplinks: list[tuple[Node, Interface]] = []
+    for parent, child, parent_iface, child_iface in edges:
+        children.setdefault(parent.name, []).append((child, parent_iface))
+        uplinks.append((child, child_iface))
+
+    def install(node: Node) -> list[int]:
+        addrs = [iface.addr for iface in node.interfaces if iface.addr]
+        table = node.route_table
+        for child, parent_iface in children.get(node.name, ()):
+            for addr in install(child):
+                table[addr] = parent_iface
+                addrs.append(addr)
+        return addrs
+
+    install(root)
+    for child, child_iface in uplinks:
+        child.set_default_route(child_iface)
+
+
+def _install_mesh_routes(
+    net: Network,
+    routers: list[Node],
+    host_edges: list[tuple[Node, Node, Interface, Interface]],
+) -> None:
+    """Routes for a router mesh with single-homed hosts hanging off it.
+
+    Dijkstra runs once per *router* (the ring stays small regardless of
+    endpoint count) instead of once per node; hosts just default-route to
+    their attach router.
+    """
+    adjacency = net._build_adjacency()
+    for router in routers:
+        first_hop = net._dijkstra_first_hops(router.name, adjacency)
+        table = router.route_table
+        for dest_name, iface in first_hop.items():
+            if dest_name == router.name:
+                continue
+            for dest_iface in net.nodes[dest_name].interfaces:
+                if dest_iface.addr:
+                    table[dest_iface.addr] = iface
+    for _parent, host, _parent_iface, host_iface in host_edges:
+        host.set_default_route(host_iface)
 
 
 def describe(network: Network) -> str:

@@ -1,8 +1,17 @@
 """Unit tests for the discrete-event kernel."""
 
+import random
+
 import pytest
 
-from repro.netsim.kernel import SimError, Simulator, all_of, any_of
+from repro.netsim.kernel import (
+    CalendarScheduler,
+    SimError,
+    Simulator,
+    all_of,
+    any_of,
+    make_scheduler,
+)
 
 
 def test_schedule_runs_in_time_order():
@@ -239,3 +248,188 @@ def test_yield_none_reschedules_same_time():
         return sim.now
 
     assert sim.run_process(worker()) == 0.0
+
+
+# -- pluggable schedulers -------------------------------------------------
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+def test_scheduler_time_and_tie_order(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    seen = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    for label in "cde":
+        sim.schedule(3.0, seen.append, label)
+    sim.run()
+    assert seen == ["a", "b", "c", "d", "e"]
+    assert sim.now == 3.0
+
+
+def test_make_scheduler_rejects_unknown_name():
+    with pytest.raises(SimError, match="unknown scheduler"):
+        Simulator(scheduler="fifo")
+
+
+def test_make_scheduler_accepts_instance():
+    sched = CalendarScheduler(bucket_width=0.25)
+    sim = Simulator(scheduler=sched)
+    assert sim.scheduler is sched
+
+
+def test_schedulers_drain_random_schedule_identically():
+    """Both schedulers pop an adversarial schedule in the same order."""
+    rng = random.Random(42)
+    plan = []
+    now = 0.0
+    for _ in range(2000):
+        kind = rng.random()
+        if kind < 0.75:
+            plan.append(("push", now + rng.random() * rng.choice(
+                [1e-6, 1e-3, 1.0, 500.0])))
+        else:
+            plan.append(("cancel", rng.randrange(1, 50)))
+
+    def drain(sched_name):
+        sched = make_scheduler(sched_name)
+        order = []
+        timers = []
+        seq = 0
+        for op, value in plan:
+            if op == "push":
+                from repro.netsim.kernel import Timer
+                timer = Timer(value, lambda: None, ())
+                seq += 1
+                sched.push(value, seq, timer)
+                timers.append(timer)
+            elif timers:
+                timers[(value * 31) % len(timers)].cancel()
+        while True:
+            entry = sched.pop()
+            if entry is None:
+                break
+            order.append((entry[0], entry[1]))
+        return order
+
+    assert drain("heap") == drain("calendar")
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+def test_cancelled_timers_are_purged(scheduler):
+    """A tight arm/cancel loop must not bloat the pending set."""
+    sim = Simulator(scheduler=scheduler)
+    for index in range(5000):
+        sim.schedule(1000.0 + index, lambda: None).cancel()
+    sched = sim.scheduler
+    assert len(sched) == 0
+    # The backing storage must have been compacted, not merely
+    # logically emptied (>50% cancelled triggers a purge).
+    if scheduler == "heap":
+        stored = len(sched._heap)
+    else:
+        stored = sched._count
+    assert stored < 2500
+    sim.run()
+    assert sim.now == 0.0
+
+
+def test_deep_queue_drains_in_order():
+    """Regression: list-backed Queue popped the head in O(n); the deque
+    must stay FIFO and fast at depth."""
+    sim = Simulator()
+    queue = sim.queue()
+    depth = 20000
+    for index in range(depth):
+        queue.put(index)
+    drained = []
+
+    def consumer():
+        while len(drained) < depth:
+            item = yield queue.get()
+            drained.append(item)
+
+    sim.spawn(consumer())
+    sim.run()
+    assert drained == list(range(depth))
+
+
+def test_queue_try_get_batch_drain():
+    sim = Simulator()
+    queue = sim.queue()
+    for index in range(100):
+        queue.put(index)
+    out = []
+    while True:
+        item = queue.try_get()
+        if item is None:
+            break
+        out.append(item)
+    assert out == list(range(100))
+
+
+def test_any_of_losers_detach_from_events():
+    """Non-winning waiters must be killed so long-lived events do not
+    accumulate dead waiters."""
+    sim = Simulator()
+    never = sim.event(name="never-fires")
+    winner = sim.event(name="winner")
+
+    def waiter():
+        index, value = yield any_of(sim, [never, winner])
+        return (index, value)
+
+    sim.schedule(1.0, winner.fire, "v")
+    assert sim.run_process(waiter()) == (1, "v")
+    assert never._waiters == []
+
+
+def test_all_of_with_no_events_fires_immediately():
+    sim = Simulator()
+
+    def waiter():
+        values = yield all_of(sim, [])
+        return values
+
+    assert sim.run_process(waiter()) == []
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+def test_event_batch_resume_preserves_waiter_order(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    event = sim.event()
+    order = []
+
+    def waiter(tag):
+        yield event
+        order.append(tag)
+
+    for tag in "abcdef":
+        sim.spawn(waiter(tag))
+    sim.schedule(1.0, event.fire)
+    sim.run()
+    assert order == list("abcdef")
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+def test_run_until_pushback_keeps_order(scheduler):
+    """A timer past `until` must survive the pause and fire in order."""
+    sim = Simulator(scheduler=scheduler)
+    seen = []
+    sim.schedule(5.0, seen.append, "late")
+    sim.schedule(5.0, seen.append, "later")
+    sim.schedule(1.0, seen.append, "early")
+    sim.run(until=2.0)
+    assert seen == ["early"]
+    sim.run()
+    assert seen == ["early", "late", "later"]
+
+
+def test_calendar_scheduler_sparse_gap_jump():
+    """Events separated by huge idle gaps must still pop in order."""
+    sim = Simulator(scheduler="calendar")
+    seen = []
+    for time in [1e-6, 0.5, 3600.0, 86400.0, 86400.0 + 1e-6]:
+        sim.schedule(time, seen.append, time)
+    sim.run()
+    assert seen == sorted(seen)
+    assert sim.now == 86400.0 + 1e-6
