@@ -1,0 +1,244 @@
+"""L1 — endpoint lifecycle under churn: goodput and determinism.
+
+The lifecycle layer's claims, measured end to end:
+
+1. **Churn tolerance** — a 5k-endpoint ping campaign with endpoints
+   joining/leaving at 1 %/min (the classic community-platform churn
+   rate) sustains >= 70 % of the no-churn goodput. Heartbeat liveness
+   drains churning endpoints before RPCs time out on them, quarantine
+   readmission returns flaky ones to service, and retries land on
+   alternate endpoints.
+
+2. **Determinism** — the same seed produces a byte-identical campaign
+   report with churn, heartbeats, drains, readmissions, and
+   retries-on-alternate all active.
+
+The goodput curve across churn rates lands in ``BENCH_l1.json`` at the
+repo root.
+
+Run standalone:
+
+    python benchmarks/bench_l1_churn.py --smoke     # CI: 60 endpoints
+    python benchmarks/bench_l1_churn.py             # full 5k curve + JSON
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(_BENCH_DIR, "..", "src"))
+
+from repro.experiments.campaign import ping_job
+from repro.fleet.testbed import FleetTestbed
+from repro.netsim.faults import FaultPlan
+from repro.util.retry import RetryPolicy
+
+FULL_ENDPOINTS = 5000
+FULL_RATES_PER_MIN = [0.0, 0.01, 0.02]  # 0 / 1 / 2 % per minute
+FULL_TARGET_RATE = 0.01
+SMOKE_ENDPOINTS = 60
+SMOKE_RATE_PER_MIN = 1.0  # compressed timescale so a short smoke sees churn
+MIN_GOODPUT_RATIO = 0.70
+# Downtime window: endpoints return within the heartbeat departure
+# threshold, so churn mostly drains/undrains rather than removing.
+DOWNTIME_RANGE = (5.0, 20.0)
+HEARTBEAT_INTERVAL = 5.0
+
+
+def run_churn_point(
+    endpoint_count: int,
+    rate_per_min: float,
+    seed: int = 7,
+    ping_count: int = 4,
+    ping_interval: float = 1.0,
+    max_concurrency: int = 256,
+    heartbeat_interval: float = HEARTBEAT_INTERVAL,
+) -> dict:
+    """One campaign under Poisson churn; returns metrics + the report
+    JSON (for byte-identical replay checks)."""
+    build_start = time.perf_counter()
+    fleet = FleetTestbed(
+        endpoint_count=endpoint_count,
+        topology="star",
+        seed=seed,
+        heartbeat_interval=heartbeat_interval,
+    )
+    build_s = time.perf_counter() - build_start
+    plan = FaultPlan(seed=seed).install(fleet.sim)
+    if rate_per_min > 0:
+        # Churn from the moment the fleet is up until well past the
+        # expected makespan; events beyond the campaign are harmless.
+        plan.endpoint_churn(
+            fleet.endpoints,
+            rate_per_min=rate_per_min,
+            start=1.0,
+            duration=600.0,
+            downtime=DOWNTIME_RANGE,
+        )
+    jobs = [
+        ping_job(f"ping-{index}", count=ping_count, interval=ping_interval)
+        for index in range(endpoint_count)
+    ]
+    run_start = time.perf_counter()
+    report = fleet.run_campaign(
+        jobs,
+        max_concurrency=min(max_concurrency, endpoint_count),
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5,
+                                 jitter=0.1),
+        # Fail over, don't ride out: one transport-level retry at the
+        # handle, a short reacquire window, then the scheduler moves the
+        # job to an alternate endpoint (the churned one is re-adopted
+        # when it rejoins).
+        pool_policy=RetryPolicy(max_attempts=1, base_delay=0.5,
+                                jitter=0.1),
+        reacquire_timeout=5.0,
+        rpc_timeout=5.0,
+        timeout=1_000_000.0,
+    )
+    wall_s = time.perf_counter() - run_start
+    makespan = max(report.makespan, 1e-9)
+    counters = report.aggregator.total.counters
+    # Goodput = measurement data actually collected per simulated
+    # second. Jobs degrade gracefully under churn (a ping run on a
+    # crashed endpoint returns a partial result), so counting completed
+    # jobs alone would hide the damage; probes received does not.
+    probes = counters.get("probes_received")
+    return {
+        "endpoints": endpoint_count,
+        "churn_rate_per_min": rate_per_min,
+        "churn_events": len(plan.churn_events),
+        "seed": seed,
+        "jobs_completed": report.jobs_completed,
+        "jobs_failed": report.jobs_failed,
+        "retries": report.retries,
+        "probes_received": probes,
+        "probes_lost": counters.get("probes_lost"),
+        "partial_runs": counters.get("partial_runs"),
+        "build_s": round(build_s, 3),
+        "wall_s": round(wall_s, 3),
+        "sim_makespan_s": round(report.makespan, 3),
+        "goodput_probes_per_sim_s": round(probes / makespan, 3),
+        "report_json": report.to_json(),
+    }
+
+
+def _strip(point: dict) -> dict:
+    """The JSON-friendly view (the raw report is only for replay
+    comparison — at 5k endpoints it is megabytes)."""
+    return {k: v for k, v in point.items() if k != "report_json"}
+
+
+def run_suite(endpoint_count: int, rates: list[float], target_rate: float,
+              seed: int = 7, **kwargs) -> tuple[list[dict], dict]:
+    """Goodput across churn rates + a same-seed replay of the target
+    point; returns (curve, summary)."""
+    curve = []
+    by_rate = {}
+    for rate in rates:
+        point = run_churn_point(endpoint_count, rate, seed=seed, **kwargs)
+        by_rate[rate] = point
+        curve.append(_strip(point))
+        print(f"  churn {rate * 100:.1f}%/min: "
+              f"ok {point['jobs_completed']}/{endpoint_count} "
+              f"retries {point['retries']} "
+              f"probes {point['probes_received']} "
+              f"events {point['churn_events']} "
+              f"sim {point['sim_makespan_s']:.1f}s "
+              f"wall {point['wall_s']:.1f}s "
+              f"goodput {point['goodput_probes_per_sim_s']:.2f}/s")
+    replay = run_churn_point(endpoint_count, target_rate, seed=seed,
+                             **kwargs)
+    baseline = by_rate[0.0]["goodput_probes_per_sim_s"]
+    target = by_rate[target_rate]
+    ratio = (target["goodput_probes_per_sim_s"] / baseline
+             if baseline else 0.0)
+    summary = {
+        "endpoints": endpoint_count,
+        "baseline_goodput": baseline,
+        "churn_goodput": target["goodput_probes_per_sim_s"],
+        "goodput_ratio": round(ratio, 4),
+        "min_goodput_ratio": MIN_GOODPUT_RATIO,
+        "target_rate_per_min": target_rate,
+        "replay_byte_identical":
+            replay["report_json"] == target["report_json"],
+    }
+    return curve, summary
+
+
+def check_summary(summary: dict) -> int:
+    print(f"goodput under churn: {summary['churn_goodput']:.2f}/s vs "
+          f"{summary['baseline_goodput']:.2f}/s baseline "
+          f"(ratio {summary['goodput_ratio']:.2f}, "
+          f">= {summary['min_goodput_ratio']:.2f} required)")
+    print(f"same-seed replay byte-identical: "
+          f"{summary['replay_byte_identical']}")
+    if not summary["replay_byte_identical"]:
+        print("FAIL: same-seed churn campaign was not byte-identical")
+        return 1
+    if summary["goodput_ratio"] < summary["min_goodput_ratio"]:
+        print("FAIL: churn goodput below target ratio")
+        return 1
+    return 0
+
+
+# -- pytest entry point ---------------------------------------------------
+
+
+def test_l1_churn_smoke(benchmark):
+    """Smoke-size churn campaign holds the goodput + determinism bar."""
+    curve, summary = benchmark.pedantic(
+        run_suite,
+        args=(SMOKE_ENDPOINTS, [0.0, SMOKE_RATE_PER_MIN],
+              SMOKE_RATE_PER_MIN),
+        kwargs=dict(max_concurrency=16, heartbeat_interval=2.0),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(summary)
+    assert summary["replay_byte_identical"]
+    assert summary["goodput_ratio"] >= MIN_GOODPUT_RATIO
+
+
+# -- standalone driver ----------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    seed = 7
+    for arg in argv:
+        if arg.startswith("--seed="):
+            seed = int(arg.split("=", 1)[1])
+
+    if smoke:
+        curve, summary = run_suite(
+            SMOKE_ENDPOINTS, [0.0, SMOKE_RATE_PER_MIN],
+            SMOKE_RATE_PER_MIN, seed=seed, max_concurrency=16,
+            heartbeat_interval=2.0,  # compressed timescale, faster drains
+        )
+        return check_summary(summary)
+
+    curve, summary = run_suite(
+        FULL_ENDPOINTS, FULL_RATES_PER_MIN, FULL_TARGET_RATE, seed=seed,
+    )
+    status = check_summary(summary)
+    output = {
+        "bench": "l1_churn",  # regenerate: python benchmarks/bench_l1_churn.py
+        "heartbeat_interval_s": HEARTBEAT_INTERVAL,
+        "downtime_range_s": list(DOWNTIME_RANGE),
+        "curve": curve,
+        "summary": summary,
+    }
+    out_path = os.path.join(_BENCH_DIR, "..", "BENCH_l1.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(output, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(out_path)}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -74,6 +74,13 @@ class ResilientHandle:
         self._obs = handle.sim.obs
         self.reconnects = 0
         self.retries = 0
+        # Set (permanently) when a reacquire wait times out: the
+        # endpoint is gone with no replacement session in sight. Pools
+        # watch this through ``on_gone`` to stop advertising the
+        # endpoint as ever-runnable (pinned jobs fail fast instead of
+        # spinning until campaign timeout).
+        self.gone = False
+        self.on_gone = None  # callable(handle) -> None, set by the pool
         self.clock_estimate: Optional[ClockEstimate] = None
         self._open_sockets: dict[int, dict] = {}
         self._captures: dict[int, tuple[int, bytes]] = {}
@@ -150,6 +157,7 @@ class ResilientHandle:
             if fresh is not None:
                 self._deferred_prior.extend(self.handle.deferred_errors)
                 self.handle = fresh
+                self.gone = False
                 self.reconnects += 1
                 obs = self._obs
                 if obs.enabled:
@@ -160,6 +168,15 @@ class ResilientHandle:
                 yield from self._replay_state()
                 return
             if sim.now >= deadline:
+                self.gone = True
+                obs = self._obs
+                if obs.enabled:
+                    obs.counter("rpc.handle_gone").inc()
+                    obs.emit("rpc", "handle-gone", op=op,
+                             endpoint=self.handle.endpoint_name,
+                             waited=self.reacquire_timeout)
+                if self.on_gone is not None:
+                    self.on_gone(self)
                 raise SessionClosed(
                     f"endpoint did not reconnect within "
                     f"{self.reacquire_timeout:g}s (op={op})"

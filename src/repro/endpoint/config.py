@@ -40,6 +40,13 @@ class EndpointConfig:
     reconnect_policy: RetryPolicy = field(default_factory=RetryPolicy)
     # Seeds the backoff jitter so fault-injection runs are deterministic.
     reconnect_seed: int = 0
+    # Liveness: when positive, the endpoint publishes an RdzHeartbeat on
+    # its open rendezvous subscription stream every this-many simulated
+    # seconds. Controllers (the fleet pool's HeartbeatMonitor) use the
+    # shard's liveness registry to drain endpoints whose beacons go
+    # stale *before* an RPC ever has to time out on them. 0 = off —
+    # the paper's baseline endpoint advertises nothing.
+    heartbeat_interval: float = 0.0
 
     def caps(self) -> int:
         value = CAP_TCP | CAP_UDP

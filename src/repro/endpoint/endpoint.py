@@ -73,6 +73,7 @@ from repro.proto.messages import (
     NSend,
     PollData,
     RdzExperiment,
+    RdzHeartbeat,
     RdzSubscribe,
     Result,
     Resumed,
@@ -535,6 +536,9 @@ class Endpoint:
         self._restart_event = None
         self._rng = _random.Random(self.config.reconnect_seed)
         self._rdz_conns: list = []
+        # Monotonic across subscription lifetimes (but reset by restart,
+        # since a real endpoint loses its counter with its memory).
+        self._heartbeat_seq = 0
 
     # -- memory/data plumbing -------------------------------------------------------
 
@@ -600,6 +604,9 @@ class Endpoint:
             session.stream.conn.abort()
         for conn in list(self._rdz_conns):
             conn.abort()
+        # Liveness counter dies with the endpoint's memory; the restarted
+        # process starts beaconing from zero again.
+        self._heartbeat_seq = 0
 
     def restart(self) -> None:
         """Come back up after a crash; supervised connections re-dial."""
@@ -834,6 +841,7 @@ class Endpoint:
         except TcpError:
             return False
         self._rdz_conns.append(conn)
+        heartbeat_proc = None
         try:
             stream = MessageStream(conn)
             try:
@@ -842,6 +850,14 @@ class Endpoint:
                 )
             except TcpError:
                 return False
+            if self.config.heartbeat_interval > 0:
+                # Liveness rides the subscription stream: the reader loop
+                # below is the stream's only consumer, the publisher its
+                # only producer, so they share the connection safely.
+                heartbeat_proc = self.node.spawn(
+                    self._heartbeat_publisher(stream),
+                    name=f"{self.config.name}-heartbeat",
+                )
             while True:
                 try:
                     message = yield from stream.recv()
@@ -864,7 +880,30 @@ class Endpoint:
                     digest,
                 )
         finally:
+            if heartbeat_proc is not None and heartbeat_proc.alive:
+                heartbeat_proc.kill()
             try:
                 self._rdz_conns.remove(conn)
             except ValueError:
                 pass
+
+    def _heartbeat_publisher(self, stream: MessageStream) -> Generator:
+        """Beacon liveness on the subscription stream until it dies."""
+        interval = self.config.heartbeat_interval
+        obs = self.node.sim.obs
+        while True:
+            yield interval
+            if self.crashed:
+                return None
+            self._heartbeat_seq += 1
+            try:
+                yield from stream.send(
+                    RdzHeartbeat(
+                        endpoint_name=self.config.name,
+                        seq=self._heartbeat_seq,
+                    )
+                )
+            except TcpError:
+                return None
+            if obs.enabled:
+                obs.counter("endpoint.heartbeats_sent").inc()

@@ -11,6 +11,9 @@ that makes that true at scale:
   and wrapped in reusable, reconnect-aware handles;
 - :mod:`repro.fleet.scheduler` — a work queue multiplexing N concurrent
   sessions with rate limiting and failure-aware rescheduling;
+- :mod:`repro.fleet.heartbeat` — liveness sweeps over the shard-merged
+  heartbeat registry, draining stale endpoints before RPCs fail on them
+  and removing the departed;
 - :mod:`repro.fleet.aggregate` — streaming mergeable rollups (counters
   + quantile sketches) so campaigns report without buffering raw
   results;
@@ -27,6 +30,7 @@ from repro.fleet.aggregate import (
     ResultAggregator,
     Rollup,
 )
+from repro.fleet.heartbeat import HeartbeatMonitor
 from repro.fleet.pool import EndpointPool, PooledEndpoint, PoolError
 from repro.fleet.scheduler import (
     CampaignContext,
@@ -46,6 +50,7 @@ __all__ = [
     "CounterSet",
     "EndpointPool",
     "FleetTestbed",
+    "HeartbeatMonitor",
     "PoolError",
     "PooledEndpoint",
     "QuantileSketch",

@@ -1,0 +1,136 @@
+"""Heartbeat liveness: drain churning endpoints before RPCs fail on them.
+
+Endpoints beacon :class:`~repro.proto.messages.RdzHeartbeat` frames on
+their open rendezvous subscription stream (one small frame per interval,
+no extra connection — the shard is infrastructure the endpoint already
+talks to, §3.2). Each shard keeps a
+:class:`~repro.rendezvous.server.HeartbeatRecord` per endpoint;
+:meth:`~repro.fleet.shard.ShardedRendezvous.liveness` merges them.
+
+The controller side closes the loop: a :class:`HeartbeatMonitor` sweeps
+the merged registry every ``interval`` simulated seconds and compares
+each pooled endpoint's freshness (time since its latest beacon, or since
+adoption if it never beaconed) against two thresholds:
+
+- ``stale_after``: the endpoint is presumed churning — the pool drains
+  it (no new work; in-flight jobs finish or fail on their own). If a
+  fresh beacon arrives later, the endpoint is undrained and takes work
+  again.
+- ``depart_after``: the endpoint is presumed gone — the pool removes it,
+  pinned jobs targeting it fail fast (``ENDPOINT_DEPARTED``), and a
+  rejoin is handled as a fresh adoption.
+
+Sweeps iterate endpoints in sorted name order and all timing comes from
+the simulator clock, so monitored campaigns stay byte-identical across
+same-seed runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Protocol
+
+if TYPE_CHECKING:
+    from repro.fleet.pool import EndpointPool
+
+
+class LivenessSource(Protocol):
+    """Anything exposing a merged name -> HeartbeatRecord view."""
+
+    def liveness(self) -> dict: ...
+
+
+class HeartbeatMonitor:
+    """Sweeps shard liveness into pool drain/undrain/remove decisions."""
+
+    def __init__(
+        self,
+        pool: "EndpointPool",
+        source: LivenessSource,
+        interval: float = 5.0,
+        stale_after: float = 15.0,
+        depart_after: float = 60.0,
+    ) -> None:
+        if stale_after <= 0 or depart_after <= stale_after:
+            raise ValueError(
+                "need 0 < stale_after < depart_after "
+                f"(got {stale_after=} {depart_after=})"
+            )
+        self.pool = pool
+        self.source = source
+        self.interval = interval
+        self.stale_after = stale_after
+        self.depart_after = depart_after
+        self.sim = pool.sim
+        self._obs = pool.sim.obs
+        self._proc = None
+        self.sweeps = 0
+        self.drained = 0
+        self.undrained = 0
+        self.removed = 0
+
+    # -- process plumbing -----------------------------------------------------
+
+    def start(self) -> "HeartbeatMonitor":
+        if self._proc is None:
+            self._proc = self.sim.spawn(
+                self._sweep_loop(), name="heartbeat-monitor"
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc = None
+
+    def _sweep_loop(self) -> Generator:
+        while True:
+            yield self.interval
+            self.sweep()
+
+    # -- the decision procedure -----------------------------------------------
+
+    @staticmethod
+    def _freshness_base(pooled, record) -> float:
+        """Latest proof of life: newest beacon, else adoption time."""
+        if record is None:
+            return pooled.adopted_at
+        # An endpoint adopted after its last beacon (e.g. rejoined while
+        # the registry still holds the pre-crash record) is as fresh as
+        # its adoption.
+        return max(record.last_seen, pooled.adopted_at)
+
+    def sweep(self, records: Optional[dict] = None) -> None:
+        """One pass: drain the stale, undrain the fresh, remove the gone."""
+        from repro.fleet.pool import ACTIVE, DRAINING
+
+        self.sweeps += 1
+        now = self.sim.now
+        if records is None:
+            records = self.source.liveness()
+        # Sorted for determinism; list() because removal mutates the dict.
+        for name in sorted(self.pool.endpoints):
+            pooled = self.pool.endpoints.get(name)
+            if pooled is None:
+                continue
+            age = now - self._freshness_base(pooled, records.get(name))
+            if age > self.depart_after:
+                if self.pool.remove(name, reason="heartbeat-departed"):
+                    self.removed += 1
+            elif age > self.stale_after:
+                if pooled.state == ACTIVE and self.pool.drain(
+                    name, reason="stale-heartbeat"
+                ):
+                    self.drained += 1
+            elif pooled.state == DRAINING:
+                if self.pool.undrain(name, reason="heartbeat-fresh"):
+                    self.undrained += 1
+        if self._obs.enabled:
+            self._obs.counter("fleet.heartbeat_sweeps").inc()
+
+    def describe(self) -> str:
+        return (
+            f"heartbeat-monitor: sweeps={self.sweeps} drained={self.drained} "
+            f"undrained={self.undrained} removed={self.removed} "
+            f"(interval={self.interval:g}s stale>{self.stale_after:g}s "
+            f"depart>{self.depart_after:g}s)"
+        )

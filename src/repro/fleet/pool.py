@@ -17,20 +17,67 @@ keys each session by endpoint name:
 Handles are reused across jobs (sessions are expensive: TCP + Hello/Auth
 + chain verification), so a 200-job campaign over 200 endpoints performs
 exactly 200 handshakes, not 400.
+
+Lifecycle: real fleets churn, so pooled endpoints move through an
+explicit state machine instead of a pair of one-way booleans::
+
+          adopt                    readmit (backoff timer)
+    (new) -----> ACTIVE <---------------------------- QUARANTINED
+                 |  ^                                     ^
+           drain |  | undrain (fresh heartbeat)           | repeated
+                 v  |                                     | job failures
+              DRAINING                                ACTIVE
+                 |
+                 | departed / handle gone / removed
+                 v
+              DEPARTED (popped from the pool; rejoining re-adopts)
+
+- **ACTIVE** endpoints take work subject to their concurrency cap.
+- **DRAINING** endpoints take no *new* work (in-flight jobs finish or
+  fail on their own); a :class:`~repro.fleet.heartbeat.HeartbeatMonitor`
+  drains endpoints whose liveness beacons go stale — before an RPC ever
+  has to time out on them — and undrains them if beacons resume.
+- **QUARANTINED** endpoints failed too many jobs; readmission is
+  automatic after an exponential backoff (each quarantine doubles the
+  penalty), so a transient fault burst no longer starves the fleet
+  forever.
+- **DEPARTED** endpoints are removed from the pool entirely. A pinned
+  job targeting one fails fast (``can_ever_run`` is False); an endpoint
+  that rejoins later is adopted from scratch.
+
+Every transition is deterministic (backoff jitter comes from a seeded
+RNG, timing from the simulator clock) and reported through ``on_change``
+so a blocked scheduler wakes the moment dispatchability shifts.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Generator, Optional
+import random
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 from zlib import crc32
 
 from repro.controller.recovery import ResilientHandle
 from repro.netsim.kernel import Queue, any_of
+from repro.util.retry import RetryPolicy
 
 if TYPE_CHECKING:
     from repro.controller.client import ControllerServer, EndpointHandle
-    from repro.util.retry import RetryPolicy
+
+# PooledEndpoint lifecycle states.
+ACTIVE = "active"
+DRAINING = "draining"
+QUARANTINED = "quarantined"
+DEPARTED = "departed"
+
+# Default readmission schedule: 5 s after the first quarantine, doubling
+# per repeat, capped at 5 minutes. ``max_attempts`` is irrelevant here —
+# readmission always happens — but RetryPolicy validates it, so give it
+# a value documenting "the schedule stops growing after 8 doublings".
+DEFAULT_QUARANTINE_BACKOFF = RetryPolicy(
+    max_attempts=8, base_delay=5.0, max_delay=300.0, multiplier=2.0,
+    jitter=0.1,
+)
 
 
 class PoolError(Exception):
@@ -42,8 +89,9 @@ class PooledEndpoint:
 
     __slots__ = (
         "name", "handle", "queue", "max_concurrent", "inflight",
-        "jobs_completed", "failures", "quarantined", "deferred_reported",
-        "_avail_queued",
+        "jobs_completed", "failures", "state", "quarantines", "drains",
+        "adopted_at", "deferred_reported", "_avail_queued",
+        "_readmit_timer",
     )
 
     def __init__(self, name: str, queue: Queue,
@@ -55,19 +103,28 @@ class PooledEndpoint:
         self.inflight = 0
         self.jobs_completed = 0
         self.failures = 0
-        self.quarantined = False
+        self.state = ACTIVE
+        self.quarantines = 0  # lifetime count; drives the backoff exponent
+        self.drains = 0
+        self.adopted_at = 0.0  # liveness baseline until the first beacon
         # How many of handle.deferred_errors have already been folded
         # into campaign results (late nsend_nowait failures).
         self.deferred_reported = 0
         # True while this endpoint's name sits in the pool's availability
         # heap (entries are invalidated lazily, not removed).
         self._avail_queued = False
+        # Armed while quarantined: the pending readmission timer.
+        self._readmit_timer = None
+
+    @property
+    def quarantined(self) -> bool:
+        return self.state == QUARANTINED
 
     @property
     def available(self) -> bool:
         return (
             self.handle is not None
-            and not self.quarantined
+            and self.state == ACTIVE
             and self.inflight < self.max_concurrent
         )
 
@@ -82,24 +139,50 @@ class EndpointPool:
         seed: int = 0,
         max_concurrent_per_endpoint: int = 1,
         quarantine_after: Optional[int] = None,
+        quarantine_backoff: Optional["RetryPolicy"] = None,
+        reacquire_timeout: float = 30.0,
     ) -> None:
         self.server = server
         self.sim = server.node.sim
         self.policy = policy
         self.seed = seed
         self.max_concurrent_per_endpoint = max_concurrent_per_endpoint
+        # How long a handle waits for its endpoint to re-dial before
+        # giving up (-> removal). Churn-heavy campaigns set this low so
+        # stuck jobs fail over to alternates instead of riding out the
+        # endpoint's downtime; the endpoint is re-adopted when it
+        # rejoins.
+        self.reacquire_timeout = reacquire_timeout
         # After this many job failures an endpoint stops receiving
-        # unpinned work (None = never quarantine).
+        # unpinned work (None = never quarantine) — until the backoff
+        # readmission timer returns it to service.
         self.quarantine_after = quarantine_after
+        self.quarantine_backoff = quarantine_backoff or \
+            DEFAULT_QUARANTINE_BACKOFF
         self.endpoints: dict[str, PooledEndpoint] = {}
+        # Names removed from the pool (crashed with no return, handle
+        # gave up, operator withdrew). A rejoining endpoint is adopted
+        # fresh and leaves this set again.
+        self.departed: set[str] = set()
         # Min-heap of names with (possibly stale) free capacity: popping
         # the smallest name reproduces the old sorted-scan dispatch order
         # without an O(N log N) sort per acquire. Entries are checked
         # against the live `available` flag on pop.
         self._avail: list[str] = []
-        # Endpoints that could ever take unpinned work (adopted and not
-        # quarantined) — keeps can_ever_run(None) O(1).
+        # Endpoints currently eligible for unpinned work (ACTIVE state) —
+        # keeps the common can_ever_run(None) probe O(1). Symmetric
+        # across every transition: adopt/readmit/undrain increment,
+        # quarantine/drain/remove decrement.
         self._usable = 0
+        self._draining = 0
+        self._pending_readmissions = 0
+        # Seeded independently of the per-endpoint handles so backoff
+        # jitter never perturbs their recovery schedules.
+        self._rng = random.Random((seed << 1) ^ 0x9E3779B9)
+        # Fired (no args) whenever dispatchability may have changed:
+        # adoption, readmission, undrain, drain, removal. A scheduler
+        # blocked on its wake queue hooks this to re-examine the pool.
+        self.on_change: Optional[Callable[[], None]] = None
         self._obs = self.sim.obs
         self._router_proc = None
         self._population_event = None
@@ -133,9 +216,13 @@ class EndpointPool:
                 raw,
                 policy=self.policy,
                 seed=(self.seed << 16) ^ crc32(name.encode()),
+                reacquire_timeout=self.reacquire_timeout,
                 endpoints_queue=pooled.queue,
             )
+            pooled.handle.on_gone = self._handle_gone
+            pooled.adopted_at = self.sim.now
             self.endpoints[name] = pooled
+            self.departed.discard(name)
             self._usable += 1
             self._mark_available(pooled)
             if self._obs.enabled:
@@ -148,6 +235,7 @@ class EndpointPool:
                 and len(self.endpoints) >= self._population_target
             ):
                 self._population_event.fire(len(self.endpoints))
+            self._notify()
         else:
             # A reconnecting endpoint: hand the fresh session to its
             # resilient handle's reacquire loop.
@@ -168,18 +256,30 @@ class EndpointPool:
         self._population_event = self.sim.event(name="pool-populated")
         timeout_event = self.sim.event(name="pool-populate-timeout")
         timer = self.sim.schedule(timeout, timeout_event.fire)
-        index, _ = yield any_of(
-            self.sim, [self._population_event, timeout_event]
-        )
-        if index == 1:
-            raise PoolError(
-                f"pool reached {len(self.endpoints)}/{count} endpoints "
-                f"within {timeout:g}s"
+        try:
+            index, _ = yield any_of(
+                self.sim, [self._population_event, timeout_event]
             )
-        timer.cancel()
+            if index == 1:
+                raise PoolError(
+                    f"pool reached {len(self.endpoints)}/{count} endpoints "
+                    f"within {timeout:g}s"
+                )
+        finally:
+            # Disarm on every exit path: a leftover event would fire on
+            # some later adoption with nobody awaiting it, and a stale
+            # target would race the next populate() call.
+            timer.cancel()
+            self._population_event = None
+            self._population_target = 0
         return len(self.endpoints)
 
     # -- scheduling support ---------------------------------------------------
+
+    def _notify(self) -> None:
+        callback = self.on_change
+        if callback is not None:
+            callback()
 
     def _mark_available(self, pooled: PooledEndpoint) -> None:
         """Enqueue an endpoint that (re)gained free capacity."""
@@ -192,19 +292,25 @@ class EndpointPool:
         avail = self._avail
         endpoints = self.endpoints
         while avail:
-            pooled = endpoints[avail[0]]
-            if pooled.available:
+            pooled = endpoints.get(avail[0])
+            if pooled is not None and pooled.available:
                 return True
-            # Stale entry (slot taken or quarantined since push): drop.
+            # Stale entry (slot taken, state changed, or endpoint
+            # removed since push): drop.
             heapq.heappop(avail)
-            pooled._avail_queued = False
+            if pooled is not None:
+                pooled._avail_queued = False
         return False
 
-    def acquire(self, pinned: Optional[str] = None) -> Optional[PooledEndpoint]:
+    def acquire(self, pinned: Optional[str] = None,
+                avoid: Optional[str] = None) -> Optional[PooledEndpoint]:
         """Claim an endpoint slot, or None if nothing suitable is free.
 
         Deterministic: unpinned work goes to the first available
-        endpoint in name order (stable across same-seed runs).
+        endpoint in name order (stable across same-seed runs). ``avoid``
+        steers a retried job away from the endpoint it just failed on —
+        unless that endpoint is the only one available, in which case
+        spinning on it beats stranding the job.
         """
         if pinned is not None:
             pooled = self.endpoints.get(pinned)
@@ -214,15 +320,32 @@ class EndpointPool:
             return None
         avail = self._avail
         endpoints = self.endpoints
+        deferred: Optional[PooledEndpoint] = None
         while avail:
-            pooled = endpoints[heapq.heappop(avail)]
+            pooled = endpoints.get(heapq.heappop(avail))
+            if pooled is None:
+                continue  # removed since push
             pooled._avail_queued = False
-            if pooled.available:
-                pooled.inflight += 1
-                # Multi-slot endpoints stay in the heap while capacity
-                # remains.
-                self._mark_available(pooled)
-                return pooled
+            if not pooled.available:
+                continue
+            if avoid is not None and pooled.name == avoid \
+                    and deferred is None:
+                # Hold the avoided endpoint aside; keep looking for an
+                # alternate.
+                deferred = pooled
+                continue
+            if deferred is not None:
+                self._mark_available(deferred)
+            pooled.inflight += 1
+            # Multi-slot endpoints stay in the heap while capacity
+            # remains.
+            self._mark_available(pooled)
+            return pooled
+        if deferred is not None:
+            # Nothing else free: last resort is the avoided endpoint.
+            deferred.inflight += 1
+            self._mark_available(deferred)
+            return deferred
         return None
 
     def release(self, pooled: PooledEndpoint, failed: bool = False) -> None:
@@ -232,28 +355,157 @@ class EndpointPool:
             if (
                 self.quarantine_after is not None
                 and pooled.failures >= self.quarantine_after
-                and not pooled.quarantined
+                and pooled.state == ACTIVE
             ):
-                pooled.quarantined = True
-                self._usable -= 1
-                if self._obs.enabled:
-                    self._obs.counter("fleet.endpoints_quarantined").inc()
-                    self._obs.emit("fleet", "endpoint-quarantined",
-                                   endpoint=pooled.name,
-                                   failures=pooled.failures)
+                self._quarantine(pooled)
         else:
             pooled.jobs_completed += 1
-        # Either branch can free a slot (quarantine gates via
+        # Either branch can free a slot (non-ACTIVE states gate via
         # `available`, so _mark_available is a no-op there).
         self._mark_available(pooled)
 
     def can_ever_run(self, pinned: Optional[str] = None) -> bool:
-        """Could a job with this pin ever be dispatched (ignoring load)?"""
+        """Could a job with this pin ever be dispatched (ignoring load)?
+
+        Quarantined and draining endpoints count: quarantine always has
+        a readmission timer pending, and a draining endpoint either
+        freshens (undrain) or departs (removal) — both transitions fire
+        ``on_change`` so waiting schedulers re-check. Departed endpoints
+        (and handles that gave up reacquiring) do not: pinned work on
+        them must fail fast rather than spin until campaign timeout.
+        """
         if pinned is not None:
             pooled = self.endpoints.get(pinned)
-            return pooled is not None and pooled.handle is not None \
-                and not pooled.quarantined
-        return self._usable > 0
+            if pooled is None or pooled.handle is None:
+                return False
+            return pooled.state != DEPARTED and not pooled.handle.gone
+        return (
+            self._usable > 0
+            or self._pending_readmissions > 0
+            or self._draining > 0
+        )
+
+    # -- lifecycle transitions ------------------------------------------------
+
+    def _quarantine(self, pooled: PooledEndpoint) -> None:
+        """ACTIVE -> QUARANTINED, with readmission pre-scheduled."""
+        pooled.state = QUARANTINED
+        pooled.quarantines += 1
+        self._usable -= 1
+        delay = self.quarantine_backoff.delay_for(
+            pooled.quarantines - 1, self._rng
+        )
+        self._pending_readmissions += 1
+        pooled._readmit_timer = self.sim.schedule(
+            delay, self._readmit, pooled.name
+        )
+        if self._obs.enabled:
+            self._obs.counter("fleet.endpoints_quarantined").inc()
+            self._obs.emit("fleet", "endpoint-quarantined",
+                           endpoint=pooled.name,
+                           failures=pooled.failures,
+                           readmit_in=delay)
+
+    def _readmit(self, name: str) -> None:
+        """QUARANTINED -> ACTIVE once the backoff penalty elapsed."""
+        self._pending_readmissions -= 1
+        pooled = self.endpoints.get(name)
+        if pooled is None:
+            return  # removed while quarantined
+        pooled._readmit_timer = None
+        if pooled.state != QUARANTINED:
+            return
+        pooled.state = ACTIVE
+        # A fresh chance: the failure count restarts, but `quarantines`
+        # keeps growing so a relapsing endpoint backs off harder.
+        pooled.failures = 0
+        self._usable += 1
+        self._mark_available(pooled)
+        if self._obs.enabled:
+            self._obs.counter("fleet.readmissions").inc()
+            self._obs.emit("fleet", "endpoint-readmitted",
+                           endpoint=name, reason="quarantine-backoff",
+                           quarantines=pooled.quarantines)
+        self._notify()
+
+    def drain(self, name: str, reason: str = "stale-heartbeat") -> bool:
+        """ACTIVE -> DRAINING: stop offering new work, let in-flight
+        jobs finish. Returns True if the transition happened."""
+        pooled = self.endpoints.get(name)
+        if pooled is None or pooled.state != ACTIVE:
+            return False
+        pooled.state = DRAINING
+        pooled.drains += 1
+        self._usable -= 1
+        self._draining += 1
+        if self._obs.enabled:
+            self._obs.counter("fleet.endpoints_drained").inc()
+            self._obs.emit("fleet", "endpoint-drained",
+                           endpoint=name, reason=reason,
+                           inflight=pooled.inflight)
+        self._notify()
+        return True
+
+    def undrain(self, name: str, reason: str = "heartbeat-fresh") -> bool:
+        """DRAINING -> ACTIVE: the endpoint proved it is alive again."""
+        pooled = self.endpoints.get(name)
+        if pooled is None or pooled.state != DRAINING:
+            return False
+        pooled.state = ACTIVE
+        self._draining -= 1
+        self._usable += 1
+        self._mark_available(pooled)
+        if self._obs.enabled:
+            self._obs.counter("fleet.readmissions").inc()
+            self._obs.emit("fleet", "endpoint-readmitted",
+                           endpoint=name, reason=reason)
+        self._notify()
+        return True
+
+    def remove(self, name: str, reason: str = "departed") -> bool:
+        """Any state -> DEPARTED: drop the endpoint from the pool.
+
+        ``can_ever_run`` turns False for pins on it immediately; a
+        rejoining endpoint (same name, fresh sessions) is adopted from
+        scratch. In-flight jobs keep their handle reference and fail or
+        finish on their own.
+        """
+        pooled = self.endpoints.pop(name, None)
+        if pooled is None:
+            return False
+        previous, pooled.state = pooled.state, DEPARTED
+        if pooled._readmit_timer is not None:
+            pooled._readmit_timer.cancel()
+            pooled._readmit_timer = None
+            self._pending_readmissions -= 1
+        if previous == ACTIVE:
+            self._usable -= 1
+        elif previous == DRAINING:
+            self._draining -= 1
+        # QUARANTINED already left _usable when it was quarantined.
+        self.departed.add(name)
+        if self._obs.enabled:
+            self._obs.counter("fleet.endpoints_removed").inc()
+            self._obs.gauge("fleet.pool_size").set(len(self.endpoints))
+            self._obs.emit("fleet", "endpoint-removed",
+                           endpoint=name, reason=reason,
+                           state=previous, inflight=pooled.inflight)
+        self._notify()
+        return True
+
+    def _handle_gone(self, handle: ResilientHandle) -> None:
+        """A resilient handle gave up reacquiring: its endpoint is gone."""
+        name = handle.endpoint_name
+        pooled = self.endpoints.get(name)
+        if pooled is not None and pooled.handle is handle:
+            self.remove(name, reason="handle-gone")
+
+    def states(self) -> dict[str, int]:
+        """Count of pooled endpoints per lifecycle state (for reports)."""
+        counts: dict[str, int] = {}
+        for pooled in self.endpoints.values():
+            counts[pooled.state] = counts.get(pooled.state, 0) + 1
+        return counts
 
     # -- teardown -------------------------------------------------------------
 
@@ -262,6 +514,10 @@ class EndpointPool:
         if self._router_proc is not None:
             self._router_proc.kill()
             self._router_proc = None
+        for pooled in self.endpoints.values():
+            if pooled._readmit_timer is not None:
+                pooled._readmit_timer.cancel()
+                pooled._readmit_timer = None
         if bye:
             for name in sorted(self.endpoints):
                 handle = self.endpoints[name].handle

@@ -64,6 +64,9 @@ class CampaignJob:
     endpoint: Optional[str] = None  # pin to a named endpoint
     attempts: int = 0
     error: Optional[str] = None
+    # Where the last attempt failed: a retried unpinned job is steered
+    # to an alternate endpoint (retry-on-alternate, not spin-on-dead).
+    last_endpoint: Optional[str] = None
 
 
 class TokenBucket:
@@ -246,6 +249,11 @@ class CampaignScheduler:
         )
         self._outstanding = len(self.jobs)
         self._note_queue_depth()
+        # Wake when pool dispatchability shifts underneath us: a churned
+        # endpoint rejoining, a quarantine readmission, a drain/removal.
+        # Without this a scheduler blocked on its wake queue with zero
+        # in-flight jobs would sleep through the fleet coming back.
+        self.pool.on_change = lambda: self._wake.put(("poke",))
 
         while self._outstanding > 0:
             dispatched = self._dispatch_ready()
@@ -274,6 +282,7 @@ class CampaignScheduler:
                     break
                 self._handle_wake(item)
 
+        self.pool.on_change = None
         self.report.finished = self.sim.now
         self.report.endpoint_count = len(self.pool.endpoints)
         if span is not None:
@@ -300,7 +309,10 @@ class CampaignScheduler:
                 self.bucket.tokens = min(self.bucket.burst,
                                          self.bucket.tokens + 1.0)
                 break
-            pooled = self.pool.acquire(job.endpoint)
+            pooled = self.pool.acquire(
+                job.endpoint,
+                avoid=job.last_endpoint if job.endpoint is None else None,
+            )
             assert pooled is not None  # _pop_dispatchable checked
             self._inflight += 1
             self.report.peak_inflight = max(self.report.peak_inflight,
@@ -350,7 +362,12 @@ class CampaignScheduler:
         stranded, self._queue = list(self._queue), deque()
         self._pinned_queued = 0
         for job in stranded:
-            job.error = job.error or "no endpoint available"
+            if job.endpoint is not None and job.endpoint in self.pool.departed:
+                # Distinguishable fast failure: the pinned endpoint left
+                # the fleet (crash with no return, handle gave up).
+                job.error = f"ENDPOINT_DEPARTED: {job.endpoint}"
+            else:
+                job.error = job.error or "no endpoint available"
             self.report.unschedulable.append(job.name)
             self._finish_job(job, None, failed=True, endpoint_name="")
         self._note_queue_depth()
@@ -415,6 +432,11 @@ class CampaignScheduler:
         if kind == "token":
             self._token_timer_armed = False
             return
+        if kind == "poke":
+            # Pool dispatchability changed (adoption, readmission,
+            # drain, removal); the main loop re-dispatches after every
+            # wake, so nothing to do here.
+            return
         if kind == "requeue":
             job = item[1]
             self._pending_requeues -= 1
@@ -427,8 +449,21 @@ class CampaignScheduler:
             job, pooled = item[1], item[2]
             self._inflight -= 1
             self.pool.release(pooled, failed=True)
+            job.last_endpoint = pooled.name
             if self._obs.enabled:
                 self._obs.gauge("fleet.inflight").set(self._inflight)
+            if (
+                job.endpoint is not None
+                and not self.pool.can_ever_run(job.endpoint)
+            ):
+                # The pinned endpoint departed mid-campaign: fail fast
+                # with a distinguishable result instead of burning the
+                # retry budget spinning on a dead pin.
+                job.error = f"ENDPOINT_DEPARTED: {job.endpoint} ({job.error})"
+                self._harvest_deferred(pooled)
+                self._finish_job(job, None, failed=True,
+                                 endpoint_name=pooled.name)
+                return
             if job.attempts < self.retry_policy.max_attempts:
                 delay = self.retry_policy.delay_for(job.attempts, self.rng)
                 job.attempts += 1

@@ -106,6 +106,31 @@ class ShardedRendezvous:
             results[index] = (ok, reason)
         return results
 
+    # -- merged liveness ------------------------------------------------------
+
+    def liveness(self) -> dict:
+        """Merged heartbeat registry across every shard.
+
+        Endpoints normally beacon at exactly one shard (the one owning
+        their operator key), but an endpoint trusting keys on several
+        shards beacons at each — the freshest record wins.
+        """
+        merged: dict = {}
+        for server in self.servers:
+            for name, record in server.heartbeats.items():
+                held = merged.get(name)
+                if held is None or record.last_seen > held.last_seen:
+                    merged[name] = record
+        return merged
+
+    @property
+    def heartbeats_received(self) -> int:
+        return sum(
+            record.beats
+            for server in self.servers
+            for record in server.heartbeats.values()
+        )
+
     # -- merged statistics ----------------------------------------------------
 
     @property

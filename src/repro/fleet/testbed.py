@@ -33,6 +33,7 @@ from repro.crypto.keys import KeyPair
 from repro.endpoint.config import EndpointConfig
 from repro.endpoint.endpoint import Endpoint
 from repro.fleet.aggregate import ResultAggregator
+from repro.fleet.heartbeat import HeartbeatMonitor
 from repro.fleet.pool import EndpointPool
 from repro.fleet.scheduler import (
     CampaignContext,
@@ -70,6 +71,7 @@ class FleetTestbed:
         capture_buffer_bytes: int = 64 * 1024,
         endpoint_reconnect: bool = True,
         scheduler: "str | EventScheduler | None" = None,
+        heartbeat_interval: float = 0.0,
     ) -> None:
         if operator_count < 1 or operator_count > endpoint_count:
             operator_count = max(1, min(operator_count, endpoint_count))
@@ -101,6 +103,7 @@ class FleetTestbed:
             self.experimenter.granted_endpoint_access(operator)
         self.experimenter.granted_publish_access(self.rendezvous_operator)
 
+        self.heartbeat_interval = heartbeat_interval
         self.endpoints: list[Endpoint] = []
         for index, host in enumerate(endpoint_hosts):
             operator = self.operators[index % operator_count]
@@ -110,6 +113,7 @@ class FleetTestbed:
                 capture_buffer_bytes=capture_buffer_bytes,
                 allow_raw=allow_raw,
                 reconnect=endpoint_reconnect,
+                heartbeat_interval=heartbeat_interval,
             )
             self.endpoints.append(Endpoint(host, config))
 
@@ -192,15 +196,26 @@ class FleetTestbed:
         rpc_timeout: Optional[float] = 5.0,
         max_concurrent_per_endpoint: int = 1,
         quarantine_after: Optional[int] = None,
+        quarantine_backoff: Optional[RetryPolicy] = None,
+        reacquire_timeout: float = 30.0,
         populate_count: Optional[int] = None,
         populate_timeout: float = 120.0,
         timeout: float = 3600.0,
         experiment_restrictions: Optional[Restrictions] = None,
+        heartbeat_stale_after: Optional[float] = None,
+        heartbeat_depart_after: Optional[float] = None,
+        heartbeat_sweep_interval: Optional[float] = None,
     ) -> CampaignReport:
         """Publish, subscribe, populate, schedule, tear down — one call.
 
         Deterministic: the same constructor seed and job list yield an
         identical schedule and a byte-identical ``report.to_json()``.
+
+        When the fleet was built with ``heartbeat_interval`` > 0, a
+        :class:`~repro.fleet.heartbeat.HeartbeatMonitor` runs alongside
+        the scheduler: stale endpoints are drained before RPCs fail on
+        them (default threshold 3 beacon intervals) and long-silent ones
+        are removed (default 10 intervals).
         """
         self.rendezvous.start()
         server, descriptor = self.make_controller(
@@ -215,7 +230,19 @@ class FleetTestbed:
             seed=self.seed,
             max_concurrent_per_endpoint=max_concurrent_per_endpoint,
             quarantine_after=quarantine_after,
+            quarantine_backoff=quarantine_backoff,
+            reacquire_timeout=reacquire_timeout,
         )
+        monitor: Optional[HeartbeatMonitor] = None
+        if self.heartbeat_interval > 0:
+            beat = self.heartbeat_interval
+            monitor = HeartbeatMonitor(
+                pool,
+                self.rendezvous,
+                interval=heartbeat_sweep_interval or beat,
+                stale_after=heartbeat_stale_after or 3.0 * beat,
+                depart_after=heartbeat_depart_after or 10.0 * beat,
+            )
         context = CampaignContext(
             sim=self.sim,
             controller_host=self.controller_host,
@@ -248,14 +275,21 @@ class FleetTestbed:
                 raise RuntimeError(f"publish rejected by shards: {rejected}")
             self.subscribe_fleet()
             yield from pool.populate(want, timeout=populate_timeout)
+            if monitor is not None:
+                monitor.start()
             report = yield from scheduler.run()
             return report
 
         try:
             report = self.sim.run_process(
-                driver(), name=f"campaign-{campaign_name}", timeout=timeout
+                driver(), name=f"campaign-{campaign_name}", timeout=timeout,
+                # Heartbeat publishers never drain the event queue; stop
+                # the run when the campaign driver itself completes.
+                halt_on_completion=True,
             )
         finally:
+            if monitor is not None:
+                monitor.stop()
             pool.shutdown()
             server.stop()
             self.rendezvous.stop()

@@ -82,6 +82,8 @@ class FaultPlan:
         self._sim: Optional[Simulator] = None
         self._pending: list = []  # deferred (callable, args) until install
         self.faults_injected = 0
+        # (time, endpoint, downtime-or-None) tuples from endpoint_churn().
+        self.churn_events: list = []
 
     # -- plumbing -------------------------------------------------------------
 
@@ -278,6 +280,66 @@ class FaultPlan:
                 sim.schedule_at(at + downtime, restart)
 
         self._arm(arm)
+        return self
+
+    def endpoint_churn(
+        self,
+        endpoints: list["Endpoint"],
+        rate_per_min: float = 0.01,
+        start: float = 0.0,
+        duration: float = 60.0,
+        downtime: tuple[float, float] = (5.0, 20.0),
+        permanent_fraction: float = 0.0,
+    ) -> "FaultPlan":
+        """Seeded Poisson join/leave churn over a fleet of endpoints.
+
+        Models the constant membership turnover of a real measurement
+        platform: each endpoint leaves (crashes) at ``rate_per_min``
+        expected events per endpoint per minute — ``0.01`` is the classic
+        "1 %/min" community-platform churn — and rejoins after a
+        ``downtime`` drawn uniformly from the given range. A
+        ``permanent_fraction`` of leave events never rejoin (the device
+        is gone for good; its pool entry must be removed, not drained).
+
+        The whole event schedule is drawn from the plan's seeded RNG in
+        one deterministic pass, so two runs with the same plan seed
+        produce bit-identical churn. The generated ``(time, endpoint,
+        downtime)`` tuples are recorded in :attr:`churn_events`.
+        """
+        if not endpoints:
+            raise ValueError("endpoint_churn needs at least one endpoint")
+        if rate_per_min < 0:
+            raise ValueError(f"rate must be >= 0, got {rate_per_min}")
+        if downtime[0] > downtime[1] or downtime[0] < 0:
+            raise ValueError(f"bad downtime range {downtime}")
+        if not 0.0 <= permanent_fraction <= 1.0:
+            raise ValueError(
+                f"permanent_fraction out of range: {permanent_fraction}"
+            )
+        # Fleet-level Poisson rate: superposition of the per-endpoint
+        # processes (events per simulated second).
+        fleet_rate = rate_per_min * len(endpoints) / 60.0
+        events: list[tuple[float, "Endpoint", Optional[float]]] = []
+        if fleet_rate > 0:
+            at = start
+            while True:
+                at += self.rng.expovariate(fleet_rate)
+                if at >= start + duration:
+                    break
+                victim = endpoints[self.rng.randrange(len(endpoints))]
+                down: Optional[float] = self.rng.uniform(*downtime)
+                if (
+                    permanent_fraction > 0
+                    and self.rng.random() < permanent_fraction
+                ):
+                    down = None  # leaves and never comes back
+                events.append((at, victim, down))
+        self.churn_events.extend(events)
+        for at, victim, down in events:
+            # Overlapping windows on one endpoint compose through the
+            # crash()/restart() idempotence guards: a crash while down is
+            # a no-op, as is a restart while up.
+            self.endpoint_crash(victim, at=at, downtime=down)
         return self
 
     def rendezvous_restart(self, server: "RendezvousServer", at: float,

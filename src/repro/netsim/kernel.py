@@ -580,6 +580,7 @@ class Simulator:
         self._seq = 0
         self._orphan_errors: list[tuple[Process, BaseException]] = []
         self._running = False
+        self._halt = False
         # Per-simulator observability hub; disabled unless a caller opts in.
         self.obs = obs if obs is not None else Observability()
         self.obs.bind_clock(lambda: self._now)
@@ -699,12 +700,17 @@ class Simulator:
                     depth = len(sched)
                     if depth > max_depth:
                         max_depth = depth
+                if self._halt:
+                    # halt() leaves queued events in place (the clock is
+                    # NOT advanced to `until`); a later run() resumes.
+                    break
                 if events >= max_events:
                     raise SimError(f"event budget exhausted ({max_events} events)")
-            if until is not None and self._now < until:
+            if until is not None and self._now < until and not self._halt:
                 self._now = until
         finally:
             self._running = False
+            self._halt = False
             if enabled:
                 obs = self.obs
                 obs.counter("kernel.run_calls").inc()
@@ -712,14 +718,43 @@ class Simulator:
                     obs.counter("kernel.events").inc(events)
                 obs.gauge("kernel.heap_depth_max").set_max(max_depth)
 
+    def halt(self) -> None:
+        """Make the in-flight :meth:`run` return after the current event.
+
+        Unlike reaching ``until``, a halt neither drains nor fast-forwards:
+        pending events stay queued at their times and ``now`` stays put,
+        so a later ``run()`` continues seamlessly.
+        """
+        self._halt = True
+
+    def _halt_when_fired(self, completion: Event) -> ProcessGen:
+        try:
+            yield completion
+        except GeneratorExit:
+            raise
+        except BaseException:  # noqa: BLE001 - the orphan path reports it
+            pass
+        self.halt()
+
     def run_process(self, gen: ProcessGen, name: str = "",
-                    timeout: Optional[float] = None) -> Any:
+                    timeout: Optional[float] = None,
+                    halt_on_completion: bool = False) -> Any:
         """Spawn ``gen``, run until it completes, and return its result.
 
-        Convenience used heavily by tests and examples.
+        Convenience used heavily by tests and examples. By default the
+        run keeps draining events after the process finishes (work the
+        process pre-scheduled — future ``nsend`` deliveries, in-flight
+        packets — still lands). With ``halt_on_completion`` the run
+        stops at the process's last event instead, so perpetual
+        background processes (heartbeat publishers, reconnect
+        supervisors) do not force the simulation to grind on to
+        ``timeout`` after the work is done.
         """
         proc = self.spawn(gen, name=name)
         deadline = None if timeout is None else self._now + timeout
+        if halt_on_completion:
+            self.spawn(self._halt_when_fired(proc.completion),
+                       name=f"halt-on:{proc.name}")
         self.run(until=deadline)
         if proc.error is not None:
             raise proc.error

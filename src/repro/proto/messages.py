@@ -561,3 +561,27 @@ class RdzExperiment(Message):
     @classmethod
     def decode_body(cls, reader: ByteReader) -> "RdzExperiment":
         return cls(descriptor=reader.bytes_u32(), chain=reader.bytes_u32())
+
+
+@register
+@dataclass(frozen=True)
+class RdzHeartbeat(Message):
+    """Endpoint -> rendezvous: periodic liveness beacon.
+
+    Sent on the already-open subscription stream, so liveness costs one
+    small frame per interval and no extra connection. ``seq`` increases
+    monotonically per endpoint process lifetime; a reset to a lower
+    value signals the endpoint restarted since its last beacon.
+    """
+
+    TYPE: ClassVar[int] = 44
+    endpoint_name: str = ""
+    seq: int = 0
+
+    def encode_body(self, writer: ByteWriter) -> None:
+        writer.str_u16(self.endpoint_name)
+        writer.u32(self.seq)
+
+    @classmethod
+    def decode_body(cls, reader: ByteReader) -> "RdzHeartbeat":
+        return cls(endpoint_name=reader.str_u16(), seq=reader.u32())

@@ -22,6 +22,7 @@ from repro.netsim.stack.tcp import TcpError
 from repro.proto.framing import FramingError, MessageStream
 from repro.proto.messages import (
     RdzExperiment,
+    RdzHeartbeat,
     RdzPublish,
     RdzPublishResult,
     RdzSubscribe,
@@ -47,6 +48,17 @@ class Subscriber:
     alive: bool = True
 
 
+@dataclass
+class HeartbeatRecord:
+    """Last-known liveness of one endpoint, as seen by this shard."""
+
+    endpoint_name: str
+    seq: int = 0
+    last_seen: float = 0.0  # simulator time of the latest beacon
+    beats: int = 0  # total beacons observed (across restarts)
+    restarts: int = 0  # seq regressions observed (endpoint lost memory)
+
+
 class RendezvousServer:
     """A persistent publish/subscribe server for experiment descriptors."""
 
@@ -63,6 +75,11 @@ class RendezvousServer:
         # resubscribing endpoint is not re-offered experiments it already
         # received (idempotent delivery).
         self._delivered: set[tuple[int, bytes]] = set()
+        # Liveness registry: endpoint name -> last-known heartbeat.
+        # Survives stop()/restart() like the experiment store — records
+        # simply go stale during downtime and refresh once endpoints
+        # resubscribe and beacon again.
+        self.heartbeats: dict[str, HeartbeatRecord] = {}
         self.offers_deduplicated = 0
         self.publications_accepted = 0
         self.publications_rejected = 0
@@ -229,12 +246,16 @@ class RendezvousServer:
         # Replay stored experiments matching the subscription.
         for stored in self.experiments:
             self._offer(subscriber, stored)
-        # Keep the connection open; detect close by reading.
+        # Keep the connection open; detect close by reading. Heartbeats
+        # arrive on this same stream (liveness costs no extra
+        # connection).
         try:
             while True:
                 message = yield from stream.recv()
                 if message is None:
                     break
+                if isinstance(message, RdzHeartbeat):
+                    self._record_heartbeat(message)
         except (TcpError, FramingError):
             pass
         subscriber.alive = False
@@ -245,6 +266,21 @@ class RendezvousServer:
             pass
         if self._obs.enabled:
             self._obs.gauge("rendezvous.subscribers").set(len(self.subscribers))
+
+    def _record_heartbeat(self, beacon: RdzHeartbeat) -> None:
+        record = self.heartbeats.get(beacon.endpoint_name)
+        if record is None:
+            record = HeartbeatRecord(endpoint_name=beacon.endpoint_name)
+            self.heartbeats[beacon.endpoint_name] = record
+        if beacon.seq < record.seq:
+            # The counter went backwards: the endpoint restarted (lost
+            # its memory) since its previous beacon.
+            record.restarts += 1
+        record.seq = beacon.seq
+        record.last_seen = self.node.sim.now
+        record.beats += 1
+        if self._obs.enabled:
+            self._obs.counter("fleet.heartbeats").inc()
 
     def _subscriber_writer(self, subscriber: Subscriber) -> Generator:
         while True:

@@ -1,0 +1,396 @@
+"""Endpoint lifecycle tests: heartbeats, churn tolerance, rebalancing.
+
+The fleet-side lifecycle machinery under test:
+
+- ``EndpointPool.populate()`` disarms its population event/target on
+  every exit path (a timeout used to leave both armed, poisoning the
+  next populate call);
+- quarantine is a backoff-readmission state machine, not a permanent
+  exile — and ``_usable`` stays symmetric across every transition;
+- jobs that crash mid-flight are retried on an *alternate* endpoint
+  (retry-on-alternate, not spin-on-dead);
+- pinned jobs whose endpoint departed fail fast with a distinguishable
+  ``ENDPOINT_DEPARTED`` error instead of burning retry budget;
+- the heartbeat monitor drains stale endpoints, undrains fresh ones,
+  and removes the long-silent — all visible in telemetry;
+- a same-seed churn campaign is byte-identical across the heap and
+  calendar event-scheduler engines (the determinism contract survives
+  the whole lifecycle layer).
+"""
+
+import pytest
+
+from repro.controller.client import SessionClosed
+from repro.core.testbed import Testbed
+from repro.experiments.campaign import ping_job
+from repro.fleet import (
+    CampaignJob,
+    CampaignScheduler,
+    EndpointPool,
+    FleetTestbed,
+    PoolError,
+)
+from repro.netsim.faults import FaultPlan
+from repro.util.retry import RetryPolicy
+
+
+def _noop_job(name, endpoint=None, hold=0.0):
+    """One read_clock, an optional hold, then another read_clock."""
+
+    def run(handle, ctx):
+        ticks = yield from handle.read_clock()
+        if hold:
+            yield hold
+            yield from handle.read_clock()
+        return ticks
+
+    return CampaignJob(
+        name=name, run=run, endpoint=endpoint,
+        metrics=lambda ticks: {"counters": {"runs": 1}},
+    )
+
+
+# -- populate() state reset ---------------------------------------------------
+
+
+class TestPopulateReset:
+    def test_timeout_disarms_population_state(self):
+        """A timed-out populate() must not poison the next call."""
+        testbed = Testbed()
+        server, descriptor = testbed.make_controller("pop")
+        pool = EndpointPool(server, seed=0)
+
+        def driver():
+            timed_out = False
+            try:
+                yield from pool.populate(1, timeout=0.5)
+            except PoolError:
+                timed_out = True
+            assert timed_out
+            # Both armed fields reset on the error path.
+            assert pool._population_event is None
+            assert pool._population_target == 0
+            # A second populate starts clean and succeeds once the
+            # endpoint actually joins.
+            testbed.connect_endpoint(descriptor)
+            count = yield from pool.populate(1, timeout=30.0)
+            assert pool._population_event is None
+            assert pool._population_target == 0
+            return count
+
+        proc = testbed.sim.spawn(driver(), name="driver")
+        testbed.sim.run(until=120.0)
+        assert not proc.alive and proc.error is None, proc.error
+        assert proc.result == 1
+        pool.shutdown()
+        server.stop()
+
+    def test_shard_restart_during_populate(self):
+        """A rendezvous shard restarting mid-populate delays, not kills,
+        the campaign: endpoints resubscribe and the pool fills."""
+        fleet = FleetTestbed(endpoint_count=4, shards=1, seed=7)
+        plan = FaultPlan(seed=1).install(fleet.sim)
+        plan.rendezvous_restart(
+            fleet.rendezvous.servers[0], at=0.5, downtime=1.0
+        )
+        report = fleet.run_campaign(
+            [_noop_job(f"job-{i}") for i in range(4)],
+            max_concurrency=4,
+        )
+        assert report.jobs_completed == 4
+        assert report.jobs_failed == 0
+
+
+# -- quarantine backoff readmission -------------------------------------------
+
+
+class TestQuarantineReadmission:
+    def test_quarantined_endpoint_is_readmitted_after_backoff(self):
+        """quarantine_after=1 on a 1-endpoint pool: the old permanent
+        quarantine stranded the retry forever; now the backoff timer
+        readmits and the retry completes."""
+        testbed = Testbed()
+        server, descriptor = testbed.make_controller("quarantine")
+        pool = EndpointPool(
+            server, seed=4, quarantine_after=1,
+            quarantine_backoff=RetryPolicy(
+                max_attempts=4, base_delay=2.0, jitter=0.0
+            ),
+        )
+        attempts = []
+
+        def run(handle, ctx):
+            attempts.append(testbed.sim.now)
+            if len(attempts) == 1:
+                raise SessionClosed("synthetic first-attempt fault")
+            ticks = yield from handle.read_clock()
+            return ticks
+
+        job = CampaignJob(
+            name="comeback", run=run,
+            metrics=lambda t: {"counters": {"runs": 1}},
+        )
+        scheduler = CampaignScheduler(
+            pool, [job], name="quarantine",
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.05,
+                                     jitter=0.0),
+            seed=4,
+        )
+
+        def driver():
+            yield from pool.populate(1)
+            report = yield from scheduler.run()
+            return report
+
+        testbed.connect_endpoint(descriptor)
+        proc = testbed.sim.spawn(driver(), name="campaign")
+        testbed.sim.run(until=120.0)
+        assert not proc.alive and proc.error is None, proc.error
+        report = proc.result
+        assert report.jobs_completed == 1
+        assert report.jobs_failed == 0
+        assert report.retries == 1
+        # The retry had to wait out the 2 s readmission penalty.
+        assert attempts[1] - attempts[0] >= 2.0
+        (pooled,) = pool.endpoints.values()
+        assert pooled.quarantines == 1
+        assert pooled.state == "active"
+        assert pooled.failures == 0  # reset on readmission
+        # _usable symmetric: quarantine decremented, readmit restored.
+        assert pool._usable == 1
+        assert pool._pending_readmissions == 0
+        pool.shutdown()
+        server.stop()
+
+    def test_relapse_backs_off_harder(self):
+        """Each quarantine doubles the readmission delay."""
+        testbed = Testbed()
+        server, descriptor = testbed.make_controller("relapse")
+        pool = EndpointPool(
+            server, seed=4, quarantine_after=1,
+            quarantine_backoff=RetryPolicy(
+                max_attempts=4, base_delay=1.0, multiplier=2.0, jitter=0.0
+            ),
+        )
+        failures_wanted = 2
+        attempts = []
+
+        def run(handle, ctx):
+            attempts.append(testbed.sim.now)
+            if len(attempts) <= failures_wanted:
+                raise SessionClosed("synthetic relapse")
+            ticks = yield from handle.read_clock()
+            return ticks
+
+        job = CampaignJob(name="relapser", run=run)
+        scheduler = CampaignScheduler(
+            pool, [job], name="relapse",
+            retry_policy=RetryPolicy(max_attempts=4, base_delay=0.05,
+                                     jitter=0.0),
+            seed=4,
+        )
+
+        def driver():
+            yield from pool.populate(1)
+            return (yield from scheduler.run())
+
+        testbed.connect_endpoint(descriptor)
+        proc = testbed.sim.spawn(driver(), name="campaign")
+        testbed.sim.run(until=300.0)
+        assert not proc.alive and proc.error is None, proc.error
+        assert proc.result.jobs_completed == 1
+        (pooled,) = pool.endpoints.values()
+        assert pooled.quarantines == 2
+        # First penalty ~1 s, second ~2 s (exponential schedule).
+        assert attempts[1] - attempts[0] >= 1.0
+        assert attempts[2] - attempts[1] >= 2.0
+        pool.shutdown()
+        server.stop()
+
+
+# -- crash mid-job: retry on an alternate endpoint ----------------------------
+
+
+class TestRetryOnAlternate:
+    def test_crashed_endpoint_job_retries_elsewhere(self):
+        """An endpoint dying mid-job (and never returning) costs one
+        retry; the retry lands on a different endpoint and succeeds."""
+        fleet = FleetTestbed(endpoint_count=3, seed=3)
+        plan = FaultPlan(seed=1).install(fleet.sim)
+        plan.endpoint_crash(fleet.endpoints[0], at=3.0)  # ep0, no return
+        report = fleet.run_campaign(
+            [_noop_job("migrant", hold=5.0)],
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.1,
+                                     jitter=0.0),
+            pool_policy=RetryPolicy(max_attempts=1, base_delay=0.1,
+                                    jitter=0.0),
+            rpc_timeout=1.0,
+        )
+        assert report.jobs_completed == 1
+        assert report.jobs_failed == 0
+        assert report.retries == 1
+        # Name-ordered dispatch put the first attempt on ep0; the retry
+        # was steered to an alternate.
+        success = [
+            name for name, rollup in report.aggregator.per_endpoint.items()
+            if rollup.counters.get("runs")
+        ]
+        assert success == ["ep1"]
+        # The handle gave up on ep0 and the pool dropped it.
+        assert report.endpoint_count == 2
+
+
+# -- pinned jobs and departed endpoints ---------------------------------------
+
+
+class TestDepartedEndpoints:
+    def test_pinned_jobs_fail_fast_with_departed_error(self):
+        """Both fail-fast paths: a pinned job in flight when its
+        endpoint departs, and a pinned job still queued behind it."""
+        fleet = FleetTestbed(endpoint_count=2, seed=6,
+                             heartbeat_interval=0.5)
+        plan = FaultPlan(seed=2).install(fleet.sim)
+        plan.endpoint_crash(fleet.endpoints[1], at=1.0)  # ep1 never returns
+        inflight = _noop_job("inflight", endpoint="ep1", hold=3.0)
+        queued = _noop_job("queued", endpoint="ep1")
+        healthy = _noop_job("healthy")
+        report = fleet.run_campaign(
+            [inflight, queued, healthy],
+            max_concurrency=3,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.1,
+                                     jitter=0.0),
+            pool_policy=RetryPolicy(max_attempts=1, base_delay=0.1,
+                                    jitter=0.0),
+            rpc_timeout=1.0,
+            timeout=600.0,
+        )
+        assert report.jobs_completed == 1  # the unpinned job, on ep0
+        assert report.jobs_failed == 2
+        assert inflight.error is not None
+        assert inflight.error.startswith("ENDPOINT_DEPARTED: ep1")
+        assert queued.error == "ENDPOINT_DEPARTED: ep1"
+        assert "queued" in report.unschedulable
+        # Fail-fast, not retry-burn: no retries were spent on the pin
+        # once the endpoint was known gone, and the campaign finished
+        # far inside its timeout.
+        assert report.retries == 0
+        assert report.makespan < 120.0
+
+
+# -- heartbeat monitor: drain, undrain, remove --------------------------------
+
+
+class TestHeartbeatMonitor:
+    def test_silent_endpoint_is_drained_then_removed(self):
+        fleet = FleetTestbed(endpoint_count=3, seed=2,
+                             heartbeat_interval=0.5)
+        fleet.enable_telemetry()
+        plan = FaultPlan(seed=3).install(fleet.sim)
+        plan.endpoint_crash(fleet.endpoints[2], at=1.0)  # silent forever
+        report = fleet.run_campaign(
+            [_noop_job(f"job-{i}", hold=8.0) for i in range(2)],
+            max_concurrency=2,
+        )
+        assert report.jobs_completed == 2
+        # ep2 left the pool without any RPC ever timing out on it.
+        assert report.endpoint_count == 2
+        snapshot = fleet.sim.obs.telemetry_snapshot()
+        assert snapshot.counter_total("endpoint.heartbeats_sent") > 0
+        assert snapshot.counter_total("fleet.heartbeats") > 0
+        assert snapshot.counter_total("fleet.heartbeat_sweeps") > 0
+        assert snapshot.counter_total("fleet.endpoints_drained") >= 1
+        assert snapshot.counter_total("fleet.endpoints_removed") >= 1
+
+    def test_churning_endpoint_is_undrained_on_return(self):
+        """A short outage drains the endpoint; resumed beacons undrain
+        it (counted as a readmission) instead of removing it."""
+        fleet = FleetTestbed(endpoint_count=2, seed=8,
+                             heartbeat_interval=0.5)
+        fleet.enable_telemetry()
+        plan = FaultPlan(seed=4).install(fleet.sim)
+        plan.endpoint_crash(fleet.endpoints[1], at=1.0, downtime=2.5)
+        report = fleet.run_campaign(
+            [_noop_job(f"job-{i}", hold=10.0) for i in range(2)],
+            max_concurrency=2,
+            # Long depart threshold: the 2.5 s outage must only drain.
+            heartbeat_depart_after=60.0,
+            rpc_timeout=2.0,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.1,
+                                     jitter=0.0),
+        )
+        assert report.jobs_completed == 2
+        assert report.endpoint_count == 2  # nobody removed
+        snapshot = fleet.sim.obs.telemetry_snapshot()
+        assert snapshot.counter_total("fleet.endpoints_drained") >= 1
+        assert snapshot.counter_total("fleet.readmissions") >= 1
+        assert snapshot.counter_total("fleet.endpoints_removed") == 0
+
+
+# -- Poisson churn generator --------------------------------------------------
+
+
+class TestEndpointChurn:
+    def test_schedule_is_seed_deterministic(self):
+        fleet = FleetTestbed(endpoint_count=4, seed=1)
+
+        def schedule(seed):
+            plan = FaultPlan(seed=seed)
+            plan.endpoint_churn(fleet.endpoints, rate_per_min=30.0,
+                                duration=20.0, downtime=(1.0, 3.0))
+            return [(at, ep.config.name, down)
+                    for at, ep, down in plan.churn_events]
+
+        first, second = schedule(9), schedule(9)
+        assert first == second
+        assert len(first) > 0
+        assert schedule(10) != first
+        for at, _, down in first:
+            assert 0.0 <= at < 20.0
+            assert 1.0 <= down <= 3.0
+
+    def test_permanent_fraction_and_validation(self):
+        fleet = FleetTestbed(endpoint_count=3, seed=1)
+        plan = FaultPlan(seed=2)
+        plan.endpoint_churn(fleet.endpoints, rate_per_min=60.0,
+                            duration=10.0, permanent_fraction=1.0)
+        assert plan.churn_events
+        assert all(down is None for _, _, down in plan.churn_events)
+        with pytest.raises(ValueError):
+            plan.endpoint_churn([], rate_per_min=1.0)
+        with pytest.raises(ValueError):
+            plan.endpoint_churn(fleet.endpoints, rate_per_min=-1.0)
+        with pytest.raises(ValueError):
+            plan.endpoint_churn(fleet.endpoints, downtime=(3.0, 1.0))
+        with pytest.raises(ValueError):
+            plan.endpoint_churn(fleet.endpoints, permanent_fraction=2.0)
+
+
+# -- differential determinism under churn -------------------------------------
+
+
+class TestChurnDeterminism:
+    def _run(self, engine):
+        fleet = FleetTestbed(endpoint_count=8, seed=11,
+                             heartbeat_interval=0.5, scheduler=engine)
+        plan = FaultPlan(seed=5).install(fleet.sim)
+        plan.endpoint_churn(fleet.endpoints, rate_per_min=6.0,
+                            duration=12.0, downtime=(0.5, 2.0))
+        return fleet.run_campaign(
+            [ping_job(f"ping-{i}", count=2) for i in range(16)],
+            max_concurrency=6,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.2,
+                                     jitter=0.0),
+            rpc_timeout=2.0,
+            timeout=1200.0,
+        )
+
+    def test_heap_and_calendar_reports_byte_identical(self):
+        """Same seed, same churn, different event-scheduler engines:
+        the full lifecycle layer (heartbeats, drains, readmissions,
+        retries-on-alternate) must not perturb the determinism
+        contract."""
+        heap_report = self._run("heap")
+        calendar_report = self._run("calendar")
+        assert heap_report.jobs_total == 16
+        assert (heap_report.jobs_completed + heap_report.jobs_failed) == 16
+        assert heap_report.to_json() == calendar_report.to_json()
