@@ -13,6 +13,9 @@ Subcommands:
 - ``python -m repro fleet [--endpoints N] [--shards K] [...]`` — run a
   fleet ping campaign over sharded rendezvous and print the aggregate
   report.
+- ``python -m repro analysis [paths ...]`` — run the simlint
+  determinism & sim-safety static analyzer and print its report
+  (exit 1 on any unsuppressed, non-baselined finding).
 """
 
 from __future__ import annotations
@@ -197,4 +200,8 @@ if __name__ == "__main__":
         sys.exit(observability_main(sys.argv[2:]))
     if len(sys.argv) > 1 and sys.argv[1] == "fleet":
         sys.exit(fleet_main(sys.argv[2:]))
+    if len(sys.argv) > 1 and sys.argv[1] == "analysis":
+        from repro.analysis.cli import main as analysis_main
+
+        sys.exit(analysis_main(sys.argv[2:]))
     sys.exit(main())

@@ -1,0 +1,95 @@
+"""Committed baseline: grandfathered findings the gate tolerates.
+
+The baseline lets the CI gate be turned on *before* every historical
+finding is fixed: known findings are recorded (keyed by rule, path and a
+content fingerprint of the offending line, so unrelated edits shifting
+line numbers do not invalidate them) and anything not in the file fails
+the build.  Policy: the baseline only ever shrinks — new findings are
+fixed or inline-suppressed with a reason, never baselined, and
+``--update-baseline`` exists for the initial adoption and for deleting
+entries as the backlog burns down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable, Optional
+
+from repro.analysis.rules import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "simlint.baseline.json"
+
+
+def finding_fingerprint(finding: Finding, line_text: str) -> str:
+    """Stable identity for a finding: rule + path + offending line text.
+
+    Line *content* (whitespace-normalized), not line *number*, so edits
+    elsewhere in the file do not churn the baseline.
+    """
+    normalized = " ".join(line_text.split())
+    payload = f"{finding.rule}|{finding.path}|{normalized}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class Baseline:
+    """The committed set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Optional[dict[str, dict]] = None,
+                 path: Optional[str] = None):
+        self.entries: dict[str, dict] = dict(entries or {})
+        self.path = path
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls(path=path)
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        entries = {
+            entry["fingerprint"]: entry for entry in data.get("findings", [])
+        }
+        return cls(entries, path=path)
+
+    def contains(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[tuple[Finding, str]], path: Optional[str] = None
+    ) -> "Baseline":
+        """Build a baseline from ``(finding, line_text)`` pairs."""
+        entries: dict[str, dict] = {}
+        for finding, line_text in findings:
+            fp = finding_fingerprint(finding, line_text)
+            entries[fp] = {
+                "fingerprint": fp,
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,           # informational only
+                "message": finding.message,
+            }
+        return cls(entries, path=path)
+
+    def save(self, path: Optional[str] = None) -> str:
+        target = path or self.path
+        if target is None:
+            raise ValueError("baseline has no path")
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": sorted(
+                self.entries.values(),
+                key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+            ),
+        }
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target

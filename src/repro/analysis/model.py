@@ -1,0 +1,564 @@
+"""Whole-program model: per-module facts plus cross-module graphs.
+
+Pass 1 parses each file into a :class:`ModuleInfo` (imports, functions,
+classes, ``__slots__``, generator-ness).  Pass 2 builds a
+:class:`RepoModel` over all of them:
+
+- an **import graph** between the analyzed modules, used to classify each
+  module as *sim-context* (it participates in the simulated world the
+  kernel drives) or *offline tooling* (compilers, CLIs, report
+  formatters);
+- a best-effort **call graph**, used to separate functions that execute
+  inside simulated processes (generators scheduled via
+  ``Simulator.run_process``/``spawn`` and everything they call) from
+  helpers only reachable from ``main``-style entry points.
+
+Both classifications are deliberately conservative in the direction of
+*more* findings: when simlint cannot prove code is offline, it treats it
+as simulated.  Inline markers override the classifier per file::
+
+    # simlint: sim-context     force this module into the sim set
+    # simlint: offline         force this module out of it
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+# Module-name prefixes that are offline tooling even though sim modules
+# import them (or they import sim modules): compilers, the analyzer
+# itself, report formatting, and host-socket compatibility shims. Each
+# entry carries the reason it is exempt — surfaced by ``--explain``.
+OFFLINE_MODULE_PREFIXES: dict[str, str] = {
+    "repro.analysis": "the analyzer itself runs on the host, not in sim",
+    "repro.cpf": "Cpf compiler toolchain runs before any simulation",
+    "repro.obs.report": "report formatting runs after the simulation ends",
+    "repro.obs.sinks": "sink flush/export writes host files post-run",
+    "repro.compat": "socket compatibility shim wraps *real* host sockets",
+    "repro.baselines": "native-socket baselines measure the host on purpose",
+    "repro.__main__": "CLI entry point",
+}
+
+# Call sites whose presence marks a module as a *driver* of the
+# simulation: it constructs or schedules into the kernel, so everything
+# it imports may execute in simulated time.
+_SIM_DRIVER_CALLS = frozenset({"run_process", "spawn", "run", "Simulator"})
+
+# The substrate module every simulated component ultimately imports.
+_KERNEL_MODULE = "repro.netsim.kernel"
+
+_MARKER_RE = re.compile(r"#\s*simlint:\s*(sim-context|offline)\b")
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition inside a module."""
+
+    qualname: str                 # "func" or "Class.method"
+    node: ast.AST
+    lineno: int
+    end_lineno: int
+    is_generator: bool
+    # Call targets seen in the body, as ("name", n) for ``n(...)``,
+    # ("method", m) for ``<expr>.m(...)``, ("qual", "mod.attr") when the
+    # receiver resolves to an imported module.
+    calls: list[tuple] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    lineno: int
+    slots: frozenset[str]
+    bases: tuple[str, ...]
+    decorators: tuple[str, ...]
+    methods: tuple[str, ...]
+
+
+class ModuleInfo:
+    """Everything pass 1 learns about a single source file."""
+
+    def __init__(self, path: str, name: str, source: str, tree: ast.Module):
+        self.path = path
+        self.name = name
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        # alias -> dotted module for ``import m [as a]``
+        self.module_imports: dict[str, str] = {}
+        # local name -> (module, original) for ``from m import x [as y]``
+        self.from_imports: dict[str, tuple[str, str]] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.forced_context: Optional[str] = None  # "sim" | "offline"
+        # Lazy caches shared by every rule: one node list, one parent
+        # map, one suppression parse per module instead of per rule.
+        self._nodes: Optional[list[ast.AST]] = None
+        self._parents: Optional[dict] = None
+        self._suppressions = None
+        self._collect()
+
+    # -- pass-1 collection ---------------------------------------------------
+
+    def _collect(self) -> None:
+        for line in self.lines:
+            marker = _MARKER_RE.search(line)
+            if marker:
+                self.forced_context = (
+                    "sim" if marker.group(1) == "sim-context" else "offline"
+                )
+                break
+        _Collector(self).visit(self.tree)
+
+    # -- lookups used by rules ----------------------------------------------
+
+    def walk(self) -> list[ast.AST]:
+        """Every AST node, cached — rules iterate this, not ast.walk."""
+        if self._nodes is None:
+            self._nodes = list(ast.walk(self.tree))
+        return self._nodes
+
+    def parent_map(self) -> dict:
+        """child node -> parent node, cached across rules."""
+        if self._parents is None:
+            parents: dict = {}
+            for parent in self.walk():
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            self._parents = parents
+        return self._parents
+
+    def resolves_to_module(self, alias: str, dotted: str) -> bool:
+        """Does local name ``alias`` refer to module ``dotted``?"""
+        target = self.module_imports.get(alias)
+        return target == dotted or (target or "").endswith("." + dotted)
+
+    def imported_name(self, local: str) -> Optional[tuple[str, str]]:
+        """The ``(module, original)`` behind a ``from m import x`` name."""
+        return self.from_imports.get(local)
+
+    def enclosing_function(self, lineno: int) -> Optional[FunctionInfo]:
+        """The innermost function definition containing ``lineno``."""
+        best: Optional[FunctionInfo] = None
+        for info in self.functions.values():
+            if info.lineno <= lineno <= info.end_lineno:
+                if best is None or info.lineno >= best.lineno:
+                    best = info
+        return best
+
+
+class _Collector(ast.NodeVisitor):
+    """Single AST walk filling in a :class:`ModuleInfo`."""
+
+    def __init__(self, module: ModuleInfo):
+        self.module = module
+        self._stack: list[str] = []          # enclosing class/function names
+        self._func_stack: list[FunctionInfo] = []
+
+    # imports ---------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.module.module_imports[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            for alias in node.names:
+                self.module.from_imports[alias.asname or alias.name] = (
+                    node.module, alias.name
+                )
+        self.generic_visit(node)
+
+    # definitions -----------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        slots: set[str] = set()
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__slots__"
+                    for t in stmt.targets
+                )
+                and isinstance(stmt.value, (ast.Tuple, ast.List, ast.Set))
+            ):
+                slots.update(
+                    elt.value
+                    for elt in stmt.value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                )
+        methods = tuple(
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        self.module.classes[node.name] = ClassInfo(
+            name=node.name,
+            lineno=node.lineno,
+            slots=frozenset(slots),
+            bases=tuple(_dotted(b) for b in node.bases),
+            decorators=tuple(_dotted(d) for d in node.decorator_list),
+            methods=methods,
+        )
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node)
+
+    def _visit_func(self, node) -> None:
+        qualname = ".".join(self._stack + [node.name])
+        info = FunctionInfo(
+            qualname=qualname,
+            node=node,
+            lineno=node.lineno,
+            end_lineno=getattr(node, "end_lineno", node.lineno) or node.lineno,
+            is_generator=_is_generator(node),
+        )
+        self.module.functions[qualname] = info
+        self._stack.append(node.name)
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+        self._stack.pop()
+
+    # call-edge collection --------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._func_stack:
+            target = node.func
+            calls = self._func_stack[-1].calls
+            if isinstance(target, ast.Name):
+                calls.append(("name", target.id))
+            elif isinstance(target, ast.Attribute):
+                calls.append(("method", target.attr))
+                if isinstance(target.value, ast.Name):
+                    mod = self.module.module_imports.get(target.value.id)
+                    if mod:
+                        calls.append(("qual", f"{mod}.{target.attr}"))
+        self.generic_visit(node)
+
+
+def _is_generator(node) -> bool:
+    """Does the function body contain a yield that belongs to *it*?
+
+    Traversal prunes nested function definitions — their yields make
+    *them* generators, not the enclosing function.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(child))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Cross-module pass
+# ---------------------------------------------------------------------------
+
+
+class RepoModel:
+    """The whole-program view rules consult.
+
+    ``sim_modules`` is the set of module names classified as sim-context;
+    ``offline_functions`` the set of ``module:qualname`` keys proven to be
+    reachable only from offline entry points (CLI mains and offline
+    modules) and never from a simulated process.
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]):
+        self.modules: dict[str, ModuleInfo] = {m.name: m for m in modules}
+        self.import_graph: dict[str, set[str]] = {}
+        self.sim_modules: set[str] = set()
+        self.offline_functions: set[str] = set()
+        self._slot_owners: Optional[dict[str, set[str]]] = None
+        self._build_import_graph()
+        self._classify_modules()
+        self._build_call_graph()
+
+    # -- import graph + module classification -------------------------------
+
+    def _build_import_graph(self) -> None:
+        known = set(self.modules)
+        for name, module in self.modules.items():
+            edges: set[str] = set()
+            for dotted in module.module_imports.values():
+                edges.update(self._resolve_known(dotted, known))
+            for dotted, orig in module.from_imports.values():
+                edges.update(self._resolve_known(dotted, known))
+                # ``from pkg import name`` may import the submodule
+                edges.update(self._resolve_known(f"{dotted}.{orig}", known))
+            self.import_graph[name] = edges
+
+    @staticmethod
+    def _resolve_known(dotted: str, known: set[str]) -> set[str]:
+        hits = set()
+        if dotted in known:
+            hits.add(dotted)
+        # ``import repro.netsim.kernel`` also marks the packages
+        parts = dotted.split(".")
+        for i in range(1, len(parts)):
+            prefix = ".".join(parts[:i])
+            if prefix in known:
+                hits.add(prefix)
+        return hits
+
+    def _classify_modules(self) -> None:
+        """Sim-context classification, in two waves:
+
+        1. every module whose import closure reaches the kernel (it
+           *uses* the simulated substrate: endpoints, controllers,
+           experiments, fleet, drivers), plus explicit ``sim-context``
+           markers and modules that schedule processes;
+        2. every module those import transitively (their support code —
+           proto codecs, packet parsers, util — executes inside
+           simulated processes too).
+
+        The offline allowlist and per-file ``offline`` markers carve
+        tooling back out.
+        """
+        closures: dict[str, set[str]] = {}
+
+        def import_closure(name: str) -> set[str]:
+            cached = closures.get(name)
+            if cached is not None:
+                return cached
+            seen: set[str] = set()
+            frontier = [name]
+            while frontier:
+                current = frontier.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                frontier.extend(self.import_graph.get(current, ()))
+            closures[name] = seen
+            return seen
+
+        kernels = {
+            name for name in self.modules
+            if name == _KERNEL_MODULE or name.endswith(".kernel")
+        }
+        wave1: set[str] = set()
+        for name, module in self.modules.items():
+            if module.forced_context == "sim":
+                wave1.add(name)
+            elif kernels & import_closure(name):
+                wave1.add(name)
+            elif self._drives_simulation(module):
+                wave1.add(name)
+
+        wave2: set[str] = set()
+        for name in wave1:
+            wave2.update(import_closure(name))
+
+        for name in wave1 | wave2:
+            module = self.modules[name]
+            if module.forced_context == "offline":
+                continue
+            if module.forced_context != "sim" and self.is_offline_module(name):
+                continue
+            self.sim_modules.add(name)
+
+    @staticmethod
+    def is_offline_module(name: str) -> bool:
+        return any(
+            name == prefix or name.startswith(prefix + ".")
+            for prefix in OFFLINE_MODULE_PREFIXES
+        )
+
+    def _drives_simulation(self, module: ModuleInfo) -> bool:
+        for info in module.functions.values():
+            for kind, *rest in info.calls:
+                if kind in ("name", "method") and rest[0] in _SIM_DRIVER_CALLS:
+                    return True
+        # kernel imported at all ⇒ participates in the simulated world
+        return any(
+            dotted == _KERNEL_MODULE
+            for dotted in module.module_imports.values()
+        ) or any(
+            mod == _KERNEL_MODULE
+            for mod, _ in module.from_imports.values()
+        )
+
+    # -- call graph + offline-function carve-out ----------------------------
+
+    def _build_call_graph(self) -> None:
+        """Separate sim-executed functions from CLI-only helpers.
+
+        Roots of the *sim* closure: every generator function in a
+        sim-context module (processes scheduled via ``run_process`` /
+        ``spawn`` are generators, as are their ``yield from`` helpers).
+        Roots of the *offline* closure: ``main``-style functions and
+        everything in offline modules.  A function reachable only from
+        the offline side is exempt from sim-scoped rules.
+        """
+        # Name buckets for call resolution. Calling a class is calling
+        # its __init__, so class names map there.
+        by_module_name: dict[tuple[str, str], str] = {}
+        by_method: dict[str, set[str]] = {}
+        for mod_name, module in self.modules.items():
+            for qual, info in module.functions.items():
+                key = f"{mod_name}:{qual}"
+                leaf = qual.rsplit(".", 1)[-1]
+                by_module_name.setdefault((mod_name, leaf), key)
+                by_module_name[(mod_name, qual)] = key
+                by_method.setdefault(leaf, set()).add(key)
+            for cls_name, cls in module.classes.items():
+                init_key = f"{mod_name}:{cls_name}.__init__"
+                if f"{cls_name}.__init__" in module.functions:
+                    by_module_name[(mod_name, cls_name)] = init_key
+
+        def resolve(module: ModuleInfo, mod_name: str, call: tuple,
+                    with_methods: bool) -> set[str]:
+            kind, name = call[0], call[1]
+            hits: set[str] = set()
+            if kind == "name":
+                imported = module.from_imports.get(name)
+                if imported:
+                    src_mod, orig = imported
+                    hit = by_module_name.get((src_mod, orig))
+                    if hit:
+                        hits.add(hit)
+                else:
+                    hit = by_module_name.get((mod_name, name))
+                    if hit:
+                        hits.add(hit)
+            elif kind == "qual":
+                dotted_mod, attr = name.rsplit(".", 1)
+                hit = by_module_name.get((dotted_mod, attr))
+                if hit:
+                    hits.add(hit)
+            elif kind == "method" and with_methods:
+                # over-approximate: any same-named method anywhere
+                hits.update(by_method.get(name, ()))
+            return hits
+
+        # Two edge sets: the *sim* closure uses generous (method-name)
+        # resolution so anything a simulated process might call counts
+        # as sim-executed; the *offline* closure uses only edges we can
+        # resolve precisely, so it cannot swallow shared helpers.
+        edges_wide: dict[str, set[str]] = {}
+        edges_narrow: dict[str, set[str]] = {}
+        for mod_name, module in self.modules.items():
+            for qual, info in module.functions.items():
+                key = f"{mod_name}:{qual}"
+                wide: set[str] = set()
+                narrow: set[str] = set()
+                for call in info.calls:
+                    wide.update(resolve(module, mod_name, call, True))
+                    narrow.update(resolve(module, mod_name, call, False))
+                edges_wide[key] = wide
+                edges_narrow[key] = narrow
+
+        def closure(roots: set[str], edges: dict[str, set[str]]) -> set[str]:
+            seen: set[str] = set()
+            frontier = list(roots)
+            while frontier:
+                key = frontier.pop()
+                if key in seen:
+                    continue
+                seen.add(key)
+                frontier.extend(edges.get(key, ()))
+            return seen
+
+        sim_roots: set[str] = set()
+        offline_roots: set[str] = set()
+        for mod_name, module in self.modules.items():
+            if mod_name not in self.sim_modules:
+                continue
+            for qual, info in module.functions.items():
+                key = f"{mod_name}:{qual}"
+                leaf = qual.rsplit(".", 1)[-1]
+                if leaf == "main" or leaf.endswith("_main"):
+                    offline_roots.add(key)
+                elif info.is_generator:
+                    sim_roots.add(key)
+
+        sim_closure = closure(sim_roots, edges_wide)
+        offline_closure = closure(offline_roots, edges_narrow)
+        # Offline wins only where the sim side never reaches.
+        self.offline_functions = offline_closure - sim_closure
+
+    # -- queries -------------------------------------------------------------
+
+    def is_sim_module(self, module: ModuleInfo) -> bool:
+        return module.name in self.sim_modules
+
+    def is_offline_function(self, module: ModuleInfo, lineno: int) -> bool:
+        """Is the code at ``lineno`` only reachable from offline entry
+        points (and therefore exempt from sim-scoped rules)?"""
+        info = module.enclosing_function(lineno)
+        if info is None:
+            # module level executes at import time, not in sim time
+            return True
+        return f"{module.name}:{info.qualname}" in self.offline_functions
+
+    def slot_owners(self) -> dict[str, set[str]]:
+        """slot attribute name -> module names defining a class with it."""
+        if self._slot_owners is None:
+            owners: dict[str, set[str]] = {}
+            for mod_name, module in self.modules.items():
+                for cls in module.classes.values():
+                    for slot in cls.slots:
+                        owners.setdefault(slot, set()).add(mod_name)
+            self._slot_owners = owners
+        return self._slot_owners
+
+
+# ---------------------------------------------------------------------------
+# Parsing helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call):
+        return _dotted(node.func)
+    return ".".join(reversed(parts))
+
+
+def module_name_for(path: str, root: str) -> str:
+    """Best-effort dotted module name for ``path`` relative to ``root``.
+
+    Files under a ``src/`` layout get their real import name
+    (``src/repro/netsim/kernel.py`` → ``repro.netsim.kernel``); anything
+    else is named by its relative path so graph keys stay unique.
+    """
+    rel = os.path.relpath(path, root)
+    parts = rel.split(os.sep)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p) or rel
+
+
+def parse_module(path: str, root: str) -> Optional[ModuleInfo]:
+    """Parse one file; ``None`` when it is not valid Python."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError, ValueError):
+        return None
+    return ModuleInfo(path, module_name_for(path, root), source, tree)

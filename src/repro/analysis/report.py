@@ -1,0 +1,67 @@
+"""Text and JSON renderings of an :class:`AnalysisResult`.
+
+The text form is for humans and CI logs; the JSON form (stable key
+order, schema-versioned) is what CI publishes as an artifact and what
+the golden tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult
+
+REPORT_VERSION = 1
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per gate finding, then a summary."""
+    lines: list[str] = []
+    for finding in result.gate_findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} {finding.message}"
+        )
+    if verbose:
+        for finding in result.suppressed_findings:
+            lines.append(
+                f"{finding.path}:{finding.line}: {finding.rule} suppressed "
+                f"({finding.suppress_reason or 'no reason'})"
+            )
+        for finding in result.baselined_findings:
+            lines.append(
+                f"{finding.path}:{finding.line}: {finding.rule} baselined"
+            )
+    counts = result.counts_by_rule()
+    if counts:
+        per_rule = ", ".join(f"{rule}×{n}" for rule, n in counts.items())
+        lines.append(
+            f"simlint: {len(result.gate_findings)} finding(s) [{per_rule}] "
+            f"({len(result.suppressed_findings)} suppressed, "
+            f"{len(result.baselined_findings)} baselined) "
+            f"in {len(result.files)} files"
+        )
+    else:
+        lines.append(
+            f"simlint: clean — 0 findings "
+            f"({len(result.suppressed_findings)} suppressed, "
+            f"{len(result.baselined_findings)} baselined) "
+            f"in {len(result.files)} files"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report with a stable schema and key order."""
+    payload = {
+        "version": REPORT_VERSION,
+        "tool": "simlint",
+        "files_scanned": len(result.files),
+        "files_skipped": sorted(result.skipped),
+        "counts_by_rule": result.counts_by_rule(),
+        "gate_findings": len(result.gate_findings),
+        "suppressed": len(result.suppressed_findings),
+        "baselined": len(result.baselined_findings),
+        "findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,291 @@
+"""DET rules: sources of run-to-run nondeterminism.
+
+Same-seed byte-identical output is the repo's core contract (the
+differential determinism suite asserts it dynamically; these rules
+prove the obvious violations statically):
+
+- DET001 — wall-clock reads in simulated code
+- DET002 — process-global ``random.*`` calls (shared, unseedable state)
+- DET003 — unseeded RNG construction / entropy reads outside crypto
+- DET004 — iterating a ``set`` (unordered) where order can leak out
+- DET005 — ``id()``/``hash()`` as an ordering or tie-breaking key
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import ModuleInfo, RepoModel
+from repro.analysis.rules import (
+    Finding,
+    Rule,
+    WalkContext,
+    dotted_name,
+    register_rule,
+)
+
+# Wall-clock entry points: module attribute -> offending call names.
+_WALL_CLOCK = {
+    "time": {"time", "monotonic", "monotonic_ns", "perf_counter",
+             "perf_counter_ns", "process_time", "time_ns"},
+    "datetime": {"now", "utcnow", "today"},
+}
+
+# ``random`` module-level functions that use the hidden global RNG.
+_GLOBAL_RANDOM = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "getrandbits", "randbytes", "gauss", "expovariate",
+    "seed", "betavariate", "triangular", "vonmisesvariate",
+}
+
+# Modules allowed to touch real entropy: key generation is *supposed* to
+# be unpredictable in production (tests inject a seeded rng instead).
+CRYPTO_WHITELIST = ("repro.crypto",)
+
+
+def _in_crypto_whitelist(module: ModuleInfo) -> bool:
+    return any(
+        module.name == prefix or module.name.startswith(prefix + ".")
+        for prefix in CRYPTO_WHITELIST
+    )
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "DET001"
+    name = "wall-clock"
+    summary = ("wall-clock read (time.time/monotonic/perf_counter, "
+               "datetime.now) in simulated code — use the simulator clock")
+    scope = "sim"
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name or "." not in name:
+                # bare ``time()`` etc. via from-import
+                imported = module.imported_name(name) if name else None
+                if imported is None:
+                    continue
+                src, orig = imported
+                if orig in _WALL_CLOCK.get(src, ()):
+                    if self.applies(module, model, node.lineno):
+                        yield self.finding(
+                            module, node,
+                            f"wall-clock call {src}.{orig}() in sim code; "
+                            f"use sim.now / the simulator clock",
+                        )
+                continue
+            head, _, attr = name.rpartition(".")
+            root = head.split(".")[0]
+            target = module.module_imports.get(root, root)
+            base = target.split(".")[-1]
+            if base in _WALL_CLOCK and attr in _WALL_CLOCK[base]:
+                if self.applies(module, model, node.lineno):
+                    yield self.finding(
+                        module, node,
+                        f"wall-clock call {base}.{attr}() in sim code; "
+                        f"use sim.now / the simulator clock",
+                    )
+
+
+@register_rule
+class GlobalRandomRule(Rule):
+    id = "DET002"
+    name = "global-random"
+    summary = ("module-level random.* call uses the process-global RNG; "
+               "thread a seeded random.Random from the owning config")
+    scope = "all"
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if "." in name:
+                root, _, attr = name.partition(".")
+                if (
+                    module.resolves_to_module(root, "random")
+                    and attr in _GLOBAL_RANDOM
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"random.{attr}() draws from the process-global RNG; "
+                        f"use a seeded random.Random threaded from config",
+                    )
+            elif name:
+                imported = module.imported_name(name)
+                if imported and imported[0] == "random" and imported[1] in _GLOBAL_RANDOM:
+                    yield self.finding(
+                        module, node,
+                        f"{name}() is random.{imported[1]} — the process-global "
+                        f"RNG; use a seeded random.Random threaded from config",
+                    )
+
+
+@register_rule
+class UnseededRngRule(Rule):
+    id = "DET003"
+    name = "unseeded-rng"
+    summary = ("unseeded random.Random()/SystemRandom/os.urandom outside the "
+               "crypto whitelist — every RNG must take a seed from config")
+    scope = "all"
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        if _in_crypto_whitelist(module):
+            return
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            target = self._rng_target(module, name)
+            if target == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    module, node,
+                    "random.Random() without a seed is nondeterministic; "
+                    "pass a seed derived from the owning config/plan",
+                )
+            elif target == "SystemRandom":
+                yield self.finding(
+                    module, node,
+                    "random.SystemRandom reads OS entropy; sim code must use "
+                    "a seeded random.Random",
+                )
+            elif target == "urandom":
+                yield self.finding(
+                    module, node,
+                    "os.urandom reads OS entropy outside the crypto "
+                    "whitelist; thread a seeded source instead",
+                )
+
+    @staticmethod
+    def _rng_target(module: ModuleInfo, name: str) -> str:
+        if not name:
+            return ""
+        if "." in name:
+            root, _, attr = name.partition(".")
+            if module.resolves_to_module(root, "random") and attr in (
+                "Random", "SystemRandom"
+            ):
+                return attr
+            if module.resolves_to_module(root, "os") and attr == "urandom":
+                return attr
+            return ""
+        imported = module.imported_name(name)
+        if imported is None:
+            return ""
+        src, orig = imported
+        if src == "random" and orig in ("Random", "SystemRandom"):
+            return orig
+        if src == "os" and orig == "urandom":
+            return orig
+        return ""
+
+
+@register_rule
+class SetIterationRule(Rule):
+    id = "DET004"
+    name = "set-iteration"
+    summary = ("iteration over a set — element order is salted per process; "
+               "sort first when the order can reach scheduling or output")
+    scope = "sim"
+
+    _SINK_OK = {"sorted", "len", "sum", "min", "max", "any", "all",
+                "frozenset", "set"}
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        ctx = WalkContext.for_module(module)
+        for node in module.walk():
+            setish = self._setish(node)
+            if not setish:
+                continue
+            consumer = self._order_sensitive_consumer(node, ctx)
+            if consumer is None:
+                continue
+            if not self.applies(module, model, node.lineno):
+                continue
+            yield self.finding(
+                module, node,
+                f"{consumer} iterates a set ({setish}); set order is "
+                f"arbitrary — wrap in sorted(...) before the order can "
+                f"reach scheduling, frames, or reports",
+            )
+
+    @staticmethod
+    def _setish(node: ast.AST) -> str:
+        """A human label when ``node`` provably evaluates to a set."""
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return f"{node.func.id}(...)"
+        return ""
+
+    def _order_sensitive_consumer(self, node, ctx: WalkContext):
+        """Where does the set's iteration order escape to, if anywhere?"""
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.For) and parent.iter is node:
+            return "for loop"
+        if isinstance(parent, ast.comprehension) and parent.iter is node:
+            return "comprehension"
+        if isinstance(parent, ast.Call) and node in parent.args:
+            func = parent.func
+            if isinstance(func, ast.Name):
+                if func.id in ("list", "tuple", "iter", "enumerate", "zip"):
+                    return f"{func.id}(...)"
+                return None  # sorted(), len(), set()… are order-safe
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "join", "extend", "update",
+            ):
+                return f".{func.attr}(...)"
+        if isinstance(parent, ast.Starred):
+            return "star-unpacking"
+        return None
+
+
+@register_rule
+class IdentityOrderRule(Rule):
+    id = "DET005"
+    name = "identity-order"
+    summary = ("id()/hash() used as a sort or tie-breaking key — object "
+               "identity varies per run; key on stable fields instead")
+    scope = "all"
+
+    _ORDERING_CALLS = {"sorted", "sort", "min", "max", "insort", "insort_left",
+                       "insort_right", "nsmallest", "nlargest"}
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name not in self._ORDERING_CALLS:
+                continue
+            for kw in node.keywords:
+                if kw.arg == "key" and self._uses_identity(kw.value):
+                    yield self.finding(
+                        module, node,
+                        f"{name}(key=...) keys on id()/hash(); object "
+                        f"identity changes across runs — key on stable "
+                        f"fields (name, seq, time) instead",
+                    )
+
+    @staticmethod
+    def _uses_identity(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name) and node.id in ("id", "hash"):
+            return True
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id in ("id", "hash")
+            ):
+                return True
+        return False

@@ -1,0 +1,54 @@
+"""LINT rules: hygiene of the suppression mechanism itself.
+
+Suppressions are part of the audit trail — a bare ``ok[RULE]`` with no
+justification defeats the point, and a stale suppression hides the fact
+that the code beneath it changed:
+
+- LINT001 — inline suppression without a reason string
+- LINT002 — inline suppression that matches no finding (stale; emitted
+  by the engine after rule evaluation)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.model import ModuleInfo, RepoModel
+from repro.analysis.rules import Finding, Rule, register_rule
+from repro.analysis.suppress import parse_suppressions
+
+
+@register_rule
+class SuppressionReasonRule(Rule):
+    id = "LINT001"
+    name = "suppression-missing-reason"
+    summary = ("inline ``# simlint: ok[RULE]`` without a reason string; "
+               "every suppression must say why")
+    scope = "all"
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        for supp in parse_suppressions(module):
+            if not supp.reason:
+                yield Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=supp.comment_line,
+                    col=0,
+                    message=(
+                        f"suppression ok[{', '.join(sorted(supp.rules))}] "
+                        f"has no reason; append one after the bracket"
+                    ),
+                )
+
+
+@register_rule
+class UnusedSuppressionRule(Rule):
+    id = "LINT002"
+    name = "unused-suppression"
+    summary = ("inline suppression matched no finding; delete it or fix "
+               "the rule id (emitted by the engine after matching)")
+    scope = "all"
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        # Matching requires the full finding set; the engine emits these.
+        return iter(())

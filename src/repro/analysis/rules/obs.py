@@ -1,0 +1,132 @@
+"""OBS rules: observability hot-path discipline.
+
+The repo-wide contract (see ``repro/obs/__init__``): with observability
+disabled, an instrumentation point costs one attribute load and one
+branch.  That only holds when every counter/event/span call is guarded:
+
+    if obs.enabled:
+        obs.counter("links.delivered").inc()
+
+- OBS001 — obs counter/event/span call on a simulated path without an
+  ``.enabled`` guard
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import ModuleInfo, RepoModel
+from repro.analysis.rules import (
+    Finding,
+    Rule,
+    WalkContext,
+    dotted_name,
+    register_rule,
+)
+
+# Observability hub methods that allocate (label dicts, strings, metric
+# lookups) and therefore must sit behind an ``enabled`` guard on hot
+# paths.
+_OBS_METHODS = {"counter", "gauge", "histogram", "emit", "span"}
+
+# Receiver spellings that conventionally hold the Observability hub.
+_OBS_RECEIVERS = {"obs", "_obs", "self.obs", "self._obs", "sim.obs",
+                  "self.sim.obs"}
+
+
+@register_rule
+class UnguardedObsRule(Rule):
+    id = "OBS001"
+    name = "unguarded-obs"
+    summary = ("obs counter/emit/span call without an ``obs.enabled`` guard "
+               "on a simulated path; disabled runs must pay one branch only")
+    scope = "sim"
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        if module.name.startswith("repro.obs"):
+            return  # the hub's own internals are allowed to call themselves
+        ctx = WalkContext.for_module(module)
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _OBS_METHODS:
+                continue
+            receiver = dotted_name(func.value)
+            if receiver not in _OBS_RECEIVERS:
+                continue
+            if self._guarded(node, ctx):
+                continue
+            if not self.applies(module, model, node.lineno):
+                continue
+            yield self.finding(
+                module, node,
+                f"{receiver}.{func.attr}(...) is unguarded; wrap in "
+                f"``if {receiver}.enabled:`` so disabled runs pay one "
+                f"attribute load and a branch",
+            )
+
+    @staticmethod
+    def _guarded(node: ast.Call, ctx: WalkContext) -> bool:
+        """Is the call dominated by an ``.enabled`` test?
+
+        Recognized shapes: an enclosing ``if`` whose test mentions
+        ``enabled``, a conditional expression (``x if obs.enabled else
+        None``), a ``while`` guard, or an enclosing boolean operation
+        (``obs.enabled and obs.emit(...)``).
+        """
+        previous: ast.AST = node
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.If, ast.While)):
+                if previous is not ancestor.test and _mentions_enabled(
+                    ancestor.test
+                ):
+                    return True
+            elif isinstance(ancestor, ast.IfExp):
+                if previous is not ancestor.test and _mentions_enabled(
+                    ancestor.test
+                ):
+                    return True
+            elif isinstance(ancestor, ast.BoolOp) and isinstance(
+                ancestor.op, ast.And
+            ):
+                if any(
+                    value is not previous and _mentions_enabled(value)
+                    for value in ancestor.values
+                ):
+                    return True
+            elif isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Guards don't cross function boundaries; an early
+                # ``if not obs.enabled: return`` still dominates though —
+                # approximate by scanning the function's leading body.
+                return _has_early_return_guard(ancestor, node)
+            previous = ancestor
+        return False
+
+
+def _mentions_enabled(test: ast.AST) -> bool:
+    for child in ast.walk(test):
+        if isinstance(child, ast.Attribute) and child.attr == "enabled":
+            return True
+        if isinstance(child, ast.Name) and child.id == "enabled":
+            return True
+    return False
+
+
+def _has_early_return_guard(func, call: ast.Call) -> bool:
+    """``if not obs.enabled: return`` before the call dominates it."""
+    for stmt in func.body:
+        if stmt.lineno >= call.lineno:
+            return False
+        if (
+            isinstance(stmt, ast.If)
+            and isinstance(stmt.test, ast.UnaryOp)
+            and isinstance(stmt.test.op, ast.Not)
+            and _mentions_enabled(stmt.test.operand)
+            and any(isinstance(s, ast.Return) for s in stmt.body)
+        ):
+            return True
+    return False

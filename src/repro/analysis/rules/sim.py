@@ -1,0 +1,181 @@
+"""SIM rules: operations that break the simulation abstraction.
+
+Kernel coroutines run in virtual time; anything that blocks the host
+thread or spawns real concurrency stalls *every* simulated process and
+desynchronizes virtual from wall time:
+
+- SIM001 — ``time.sleep`` in simulated code (blocks the whole kernel)
+- SIM002 — blocking host I/O (sockets, select, input, subprocess) in
+  simulated code
+- SIM003 — real-concurrency imports (threading/multiprocessing/asyncio)
+  in sim-context modules
+- SIM004 — mutating another module's ``__slots__`` hot structure through
+  a private attribute
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import ModuleInfo, RepoModel
+from repro.analysis.rules import Finding, Rule, dotted_name, register_rule
+
+_BLOCKING_CALLS = {
+    "socket": {"socket", "create_connection", "create_server"},
+    "select": {"select", "poll", "epoll", "kqueue"},
+    "subprocess": {"run", "Popen", "call", "check_call", "check_output"},
+    "urllib.request": {"urlopen"},
+    "requests": {"get", "post", "put", "delete", "head", "request"},
+}
+
+_CONCURRENCY_MODULES = {
+    "threading", "multiprocessing", "concurrent.futures", "asyncio",
+    "_thread", "queue",
+}
+
+
+@register_rule
+class SleepRule(Rule):
+    id = "SIM001"
+    name = "host-sleep"
+    summary = ("time.sleep in simulated code blocks the entire kernel; "
+               "yield a delay to the simulator instead")
+    scope = "sim"
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            is_sleep = False
+            if "." in name:
+                root, _, attr = name.partition(".")
+                is_sleep = attr == "sleep" and module.resolves_to_module(
+                    root, "time"
+                )
+            elif name:
+                imported = module.imported_name(name)
+                is_sleep = imported == ("time", "sleep")
+            if is_sleep and self.applies(module, model, node.lineno):
+                yield self.finding(
+                    module, node,
+                    "time.sleep() blocks the host thread and every simulated "
+                    "process; ``yield delay`` to the kernel instead",
+                )
+
+
+@register_rule
+class BlockingIoRule(Rule):
+    id = "SIM002"
+    name = "blocking-io"
+    summary = ("blocking host I/O (sockets/select/subprocess/input) inside "
+               "simulated code; use the simulated stack")
+    scope = "sim"
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._blocking_label(module, node)
+            if label and self.applies(module, model, node.lineno):
+                yield self.finding(
+                    module, node,
+                    f"{label} performs blocking host I/O inside simulated "
+                    f"code; route through the simulated network stack",
+                )
+
+    @staticmethod
+    def _blocking_label(module: ModuleInfo, node: ast.Call) -> str:
+        name = dotted_name(node.func)
+        if name == "input" or (
+            not name
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "input"
+        ):
+            return "input()"
+        if "." in name:
+            root, _, attr = name.partition(".")
+            for mod, calls in _BLOCKING_CALLS.items():
+                if module.resolves_to_module(root, mod) and attr in calls:
+                    return f"{mod}.{attr}()"
+        elif name:
+            imported = module.imported_name(name)
+            if imported:
+                src, orig = imported
+                if orig in _BLOCKING_CALLS.get(src, ()):
+                    return f"{src}.{orig}()"
+        return ""
+
+
+@register_rule
+class ConcurrencyImportRule(Rule):
+    id = "SIM003"
+    name = "real-concurrency"
+    summary = ("threading/multiprocessing/asyncio imported by a sim-context "
+               "module; sim concurrency is generators in virtual time")
+    scope = "sim"
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        if not model.is_sim_module(module):
+            return
+        for node in module.walk():
+            names: list[tuple[str, ast.AST]] = []
+            if isinstance(node, ast.Import):
+                names = [(alias.name, node) for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [(node.module, node)]
+            for dotted, site in names:
+                root = dotted.split(".")[0]
+                if dotted in _CONCURRENCY_MODULES or root in (
+                    "threading", "multiprocessing", "asyncio", "_thread",
+                ):
+                    yield self.finding(
+                        module, site,
+                        f"sim-context module imports {dotted}; real "
+                        f"concurrency desynchronizes virtual time — model "
+                        f"it as simulated processes",
+                    )
+
+
+@register_rule
+class SlotsMutationRule(Rule):
+    id = "SIM004"
+    name = "foreign-slots-write"
+    summary = ("write to a private __slots__ attribute of a class owned by "
+               "another module; hot structures are mutated by their owner")
+    scope = "sim"
+
+    def check_module(self, module: ModuleInfo, model: RepoModel) -> Iterator[Finding]:
+        owners = model.slot_owners()
+        local_slots = {
+            slot for cls in module.classes.values() for slot in cls.slots
+        }
+        for node in module.walk():
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                attr = target.attr
+                if not attr.startswith("_") or attr.startswith("__"):
+                    continue
+                if isinstance(target.value, ast.Name) and target.value.id in (
+                    "self", "cls",
+                ):
+                    continue
+                owning = owners.get(attr)
+                if not owning or attr in local_slots or module.name in owning:
+                    continue
+                if not self.applies(module, model, node.lineno):
+                    continue
+                owner_list = ", ".join(sorted(owning))
+                yield self.finding(
+                    module, target,
+                    f"writes private slot .{attr} of a __slots__ class owned "
+                    f"by {owner_list}; mutate hot structures through their "
+                    f"owner's methods",
+                )

@@ -1,0 +1,85 @@
+"""Inline suppressions: ``# simlint: ok[RULE-ID] reason``.
+
+A suppression silences findings of the named rule(s) on the line it
+shares, or — when the comment stands alone — on the next source line.
+The reason string after the bracket is mandatory (LINT001 enforces it)
+and multiple rules may share one comment::
+
+    x = random.random()  # simlint: ok[DET002] demo of the failure mode
+    # simlint: ok[DET001,SIM001] measuring real install cost on purpose
+    wall = time.perf_counter()
+
+Suppressions that match no finding are themselves findings (LINT002), so
+stale ``ok[...]`` comments cannot silently accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.model import ModuleInfo
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*ok\[\s*([A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)\s*\]\s*(.*)$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``ok[...]`` comment."""
+
+    rules: frozenset[str]
+    reason: str
+    comment_line: int           # where the comment itself lives
+    target_line: int            # the source line it silences
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, rule: str, line: int) -> bool:
+        return line == self.target_line and rule in self.rules
+
+
+def parse_suppressions(module: ModuleInfo) -> list[Suppression]:
+    """All suppressions in a module, in line order.
+
+    Comments are found with :mod:`tokenize`, not a line regex, so
+    ``ok[...]`` examples inside docstrings are not treated as live
+    suppressions.  The parse is cached on the module — both the engine
+    and the LINT rules ask for it.
+    """
+    if module._suppressions is not None:
+        return module._suppressions
+    out: list[Suppression] = []
+    module._suppressions = out
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(module.source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for idx, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        reason = match.group(2).strip()
+        # A comment alone on its line targets the next line of code.
+        line_text = module.lines[idx - 1] if idx <= len(module.lines) else ""
+        standalone = line_text.lstrip().startswith("#")
+        target = idx + 1 if standalone else idx
+        out.append(
+            Suppression(
+                rules=rules,
+                reason=reason,
+                comment_line=idx,
+                target_line=target,
+            )
+        )
+    return out

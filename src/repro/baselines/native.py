@@ -18,7 +18,7 @@ pre-schedules everything and matches the native client.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
@@ -48,7 +48,7 @@ class ChallengeServer:
     transactions: int = 0
 
     def start(self) -> "ChallengeServer":
-        rng = random.Random(self.seed)
+        rng = Random(self.seed)
 
         def server() -> Generator:
             sock = self.node.udp.bind(self.port)

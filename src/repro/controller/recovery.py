@@ -25,7 +25,7 @@ are deterministic under fault injection.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import Generator, Optional, Union
 
 from repro.controller.client import (
@@ -65,7 +65,7 @@ class ResilientHandle:
         # session when many share one controller.
         self._endpoints_queue = endpoints_queue
         self.policy = policy or RetryPolicy()
-        self.rng = random.Random(seed)
+        self.rng = Random(seed)
         self.reacquire_timeout = reacquire_timeout
         self.poll_interval = poll_interval
         self.resync_clock = resync_clock

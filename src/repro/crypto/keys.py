@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import hashlib
 import os
+from random import Random
+from typing import Optional
 
 from repro.crypto import ed25519
 
@@ -39,7 +41,17 @@ class KeyPair:
         self.key_id = key_id(self.public_key)
 
     @classmethod
-    def generate(cls) -> "KeyPair":
+    def generate(cls, rng: Optional[Random] = None) -> "KeyPair":
+        """Mint a fresh key pair.
+
+        Production keygen draws real OS entropy (keys must be
+        unpredictable; this module is simlint's crypto whitelist for
+        exactly that reason). Tests and benchmarks pass a seeded
+        ``random.Random`` instead so same-seed fleets mint identical
+        key ids.
+        """
+        if rng is not None:
+            return cls(rng.randbytes(ed25519.SEED_SIZE))
         return cls(os.urandom(ed25519.SEED_SIZE))
 
     @classmethod

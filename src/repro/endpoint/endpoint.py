@@ -15,7 +15,7 @@ either a certificate/monitor check or a mechanical command execution.
 
 from __future__ import annotations
 
-import random as _random
+from random import Random as _Random
 import time as _time
 from typing import Generator, Optional
 
@@ -116,10 +116,11 @@ def admit_filter_program(
     synchronously, so its cost is real time, not simulated time).
     """
     span = obs.span("filtervm", "verify", kind=kind) if obs.enabled else None
+    # simlint: ok[DET001] measures real verifier cost for telemetry only
     wall_start = _time.perf_counter()
     report = verify_filter(program, info_size=MEMORY_SIZE,
                            fuel_limit=fuel_limit)
-    wall = _time.perf_counter() - wall_start
+    wall = _time.perf_counter() - wall_start  # simlint: ok[DET001] same wall-cost measurement; never reaches sim state
     if obs.enabled:
         span.end(ok=report.ok, errors=len(report.errors),
                  warnings=len(report.warnings))
@@ -534,7 +535,7 @@ class Endpoint:
         # Crash-and-restart fault model (driven by netsim.faults).
         self.crashed = False
         self._restart_event = None
-        self._rng = _random.Random(self.config.reconnect_seed)
+        self._rng = _Random(self.config.reconnect_seed)
         self._rdz_conns: list = []
         # Monotonic across subscription lifetimes (but reset by restart,
         # since a real endpoint loses its counter with its memory).

@@ -53,7 +53,7 @@ so a blocked scheduler wakes the moment dispatchability shifts.
 from __future__ import annotations
 
 import heapq
-import random
+from random import Random
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 from zlib import crc32
 
@@ -178,7 +178,7 @@ class EndpointPool:
         self._pending_readmissions = 0
         # Seeded independently of the per-endpoint handles so backoff
         # jitter never perturbs their recovery schedules.
-        self._rng = random.Random((seed << 1) ^ 0x9E3779B9)
+        self._rng = Random((seed << 1) ^ 0x9E3779B9)
         # Fired (no args) whenever dispatchability may have changed:
         # adoption, readmission, undrain, drain, removal. A scheduler
         # blocked on its wake queue hooks this to re-examine the pool.

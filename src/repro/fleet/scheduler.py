@@ -22,9 +22,9 @@ schedule and byte-identical aggregate reports.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from dataclasses import dataclass, field
+from random import Random
 from typing import Any, Callable, Generator, Optional
 
 from repro.controller.client import CommandError, RpcTimeout, SessionClosed
@@ -209,7 +209,7 @@ class CampaignScheduler:
         self.jobs = list(jobs)
         self.max_concurrency = max(1, max_concurrency)
         self.retry_policy = retry_policy or RetryPolicy()
-        self.rng = random.Random(seed)
+        self.rng = Random(seed)
         self.seed = seed
         self.bucket = TokenBucket(rate, burst, self.sim.now)
         self.context = context or CampaignContext(sim=self.sim)

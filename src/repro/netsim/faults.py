@@ -25,7 +25,7 @@ Design notes:
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.netsim.kernel import Simulator
@@ -63,7 +63,7 @@ class DirectionFaults:
         self.reorder_delay = 0.0
 
     @property
-    def rng(self) -> random.Random:
+    def rng(self) -> Random:
         return self.plan.rng
 
 
@@ -78,7 +78,7 @@ class FaultPlan:
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
-        self.rng = random.Random(seed)
+        self.rng = Random(seed)
         self._sim: Optional[Simulator] = None
         self._pending: list = []  # deferred (callable, args) until install
         self.faults_injected = 0

@@ -20,7 +20,7 @@ traffic sharing an access link.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -70,7 +70,7 @@ class LinkDirection:
         delay: float,
         queue_bytes: int,
         loss_rate: float,
-        rng: random.Random,
+        rng: Random,
         jitter: float = 0.0,
     ) -> None:
         if bandwidth_bps <= 0:
@@ -289,7 +289,7 @@ class Link:
         (asymmetric access links), else the same values.
         """
         name = f"{iface_a.full_name}<->{iface_b.full_name}"
-        rng = random.Random(seed)
+        rng = Random(seed)
         self.forward = LinkDirection(
             sim, f"{name}:fwd", bandwidth_bps, delay, queue_bytes, loss_rate,
             rng, jitter=jitter,

@@ -9,6 +9,7 @@ every node, so any topology becomes fully routable with one call.
 from __future__ import annotations
 
 import heapq
+from random import Random
 from typing import Optional
 
 from repro.netsim.kernel import Simulator
@@ -292,8 +293,6 @@ def fleet_topology(
 
     Returns ``(network, endpoint_hosts, controller_host, target_host)``.
     """
-    import random as _random
-
     if endpoint_count < 1:
         raise ValueError(f"endpoint_count must be >= 1, got {endpoint_count}")
     net = network or Network()
@@ -301,7 +300,7 @@ def fleet_topology(
     # link; a pre-populated network falls back to the generic all-pairs
     # pass at the end.
     preexisting = bool(net.nodes) or bool(net.links)
-    rng = _random.Random(seed)
+    rng = Random(seed)
 
     # Parent -> child edges recorded during construction; the specialized
     # route installers consume these instead of re-deriving the shape.

@@ -9,8 +9,8 @@ passes in, keeping fault-injection runs deterministic.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
+from random import Random
 
 
 @dataclass(frozen=True)
@@ -36,14 +36,14 @@ class RetryPolicy:
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
 
-    def delay_for(self, attempt: int, rng: random.Random) -> float:
+    def delay_for(self, attempt: int, rng: Random) -> float:
         """Backoff delay before retry number ``attempt`` (zero-based)."""
         delay = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
         if self.jitter > 0:
             delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
         return delay
 
-    def delays(self, rng: random.Random):
+    def delays(self, rng: Random):
         """Iterate the full schedule (``max_attempts`` delays)."""
         for attempt in range(self.max_attempts):
             yield self.delay_for(attempt, rng)

@@ -1,0 +1,18 @@
+# simlint: sim-context
+"""Known-bad DET fixtures; line numbers are pinned in test_simlint.py."""
+import os
+import random
+import time
+from datetime import datetime
+
+
+def process(sim, peers):
+    started = time.time()                      # DET001 line 10
+    stamp = datetime.now()                     # DET001 line 11
+    jitter = random.uniform(0.0, 1.0)          # DET002 line 12
+    rng = random.Random()                      # DET003 line 13
+    token = os.urandom(16)                     # DET003 line 14
+    for peer in set(peers):                    # DET004 line 15
+        sim.schedule(peer)
+    order = sorted(peers, key=lambda p: id(p))  # DET005 line 17
+    yield started, stamp, jitter, rng, token, order

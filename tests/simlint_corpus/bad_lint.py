@@ -1,0 +1,12 @@
+# simlint: sim-context
+"""Known-bad LINT fixtures; line numbers are pinned in test_simlint.py."""
+import random
+
+
+def draw():
+    a = random.random()  # simlint: ok[DET002]
+    return a
+
+
+def clean():
+    return 1  # simlint: ok[DET001] stale suppression, nothing fires here

@@ -1,0 +1,9 @@
+# simlint: sim-context
+"""Known-bad OBS fixtures; line numbers are pinned in test_simlint.py."""
+
+
+def deliver(obs, frame):
+    obs.counter("links.delivered").inc()       # OBS001 line 6
+    if obs.enabled:
+        obs.emit("links", "deliver", size=len(frame))  # guarded: clean
+    yield frame

@@ -1,0 +1,13 @@
+# simlint: sim-context
+"""Known-bad SIM fixtures; line numbers are pinned in test_simlint.py."""
+import socket
+import threading                               # SIM003 line 4
+import time
+
+
+def kernel_proc(sim, timer):
+    time.sleep(0.5)                            # SIM001 line 9
+    conn = socket.create_connection(("a", 1))  # SIM002 line 10
+    timer._deadline_x9 = sim.now + 1.0         # SIM004 line 11
+    lock = threading.Lock()
+    yield conn, lock

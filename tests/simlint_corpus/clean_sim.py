@@ -1,0 +1,47 @@
+# simlint: sim-context
+"""The approved idioms: every pattern the bad fixtures get wrong, done
+right. This file must scan with zero findings."""
+from random import Random
+
+MAX_FRAME = 1 << 20
+
+
+class Message:
+    pass
+
+
+def register(cls):
+    return cls
+
+
+@register
+class Probe(Message):
+    TYPE = 7
+
+    def encode_body(self, writer):
+        writer.u8(self.TYPE)
+
+    @classmethod
+    def decode_body(cls, reader):
+        return cls()
+
+
+def send(payload):
+    if len(payload) > MAX_FRAME:
+        raise ValueError("oversized frame")
+
+
+def recv(length):
+    if length > MAX_FRAME:
+        raise ValueError("oversized frame")
+
+
+def process(sim, peers, obs, seed=0):
+    rng = Random(seed)                       # seeded from config: clean
+    started = sim.now                        # virtual time: clean
+    jitter = rng.uniform(0.0, 1.0)
+    for peer in sorted(set(peers)):          # sorted first: clean
+        sim.schedule(peer)
+    if obs.enabled:                          # guarded: clean
+        obs.counter("corpus.processed").inc()
+    yield started, jitter

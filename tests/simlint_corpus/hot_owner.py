@@ -1,0 +1,10 @@
+# simlint: sim-context
+"""Owner of a __slots__ hot structure (support file for bad_sim.py)."""
+
+
+class HotTimer:
+    __slots__ = ("_deadline_x9", "armed")
+
+    def __init__(self) -> None:
+        self._deadline_x9 = 0.0
+        self.armed = False

@@ -1,0 +1,9 @@
+# simlint: sim-context
+"""Suppressions with reasons: findings exist but the gate stays green."""
+import time
+
+
+def measure(sim):
+    # simlint: ok[DET001] comparing wall vs virtual time is the point here
+    wall = time.perf_counter()
+    yield wall - sim.now
