@@ -26,7 +26,7 @@ from repro.proto.constants import (
     ST_OK,
     STATUS_NAMES,
 )
-from repro.proto.framing import FramingError, MessageStream
+from repro.proto.framing import FramingError, MessageStream, UndecodableFrame
 from repro.proto.messages import (
     Auth,
     AuthFail,
@@ -48,7 +48,18 @@ from repro.proto.messages import (
     SessionEnd,
     Yield,
 )
+from repro.proto.statemachine import (
+    ROLE_CONTROLLER,
+    SessionStateMachine,
+    V_DECODE_ERROR,
+    V_STREAM_OVERFLOW,
+    Violation,
+)
 from repro.endpoint.memory import OFF_CLOCK
+
+# Wire overhead charged per streamed CaptureRecord (sktid + timestamp +
+# length prefix) so empty-payload floods still consume the byte budget.
+STREAM_RECORD_OVERHEAD = 16
 
 
 class CommandError(Exception):
@@ -62,6 +73,50 @@ class CommandError(Exception):
 
 class SessionClosed(Exception):
     """The endpoint session ended while a command was outstanding."""
+
+
+@dataclass
+class SessionBudget:
+    """Hard per-session resource caps for one endpoint session.
+
+    The single-RPC timeout bounds how long *one* command may dangle; a
+    budget bounds what the whole session may cost the controller.  Every
+    ``None`` field disables that cap.  When any cap trips, the handle
+    severs the session and surfaces a typed :class:`MisbehaviorError`
+    to all callers instead of hanging or buffering without bound.
+
+    ``max_streamed_bytes`` defaults to the session's negotiated
+    ``AuthOk.buffer_limit`` when left ``None`` — an endpoint may never
+    push more unconsumed streamed capture than its own advertised
+    buffer.  ``max_pending_age`` is slowloris detection beyond the
+    per-RPC timeout: the oldest unanswered reqid may not stay pending
+    longer than this, no matter how many fresh RPCs keep succeeding.
+    """
+
+    max_streamed_bytes: Optional[int] = None  # None = negotiated buffer_limit
+    max_streamed_records: Optional[int] = 4096
+    max_pending_age: Optional[float] = None
+    max_violations: Optional[int] = 8
+    max_decode_errors: Optional[int] = 4
+
+
+class MisbehaviorError(SessionClosed):
+    """A session was severed because the endpoint exhausted a budget.
+
+    Subclasses :class:`SessionClosed` so existing retry/rescheduling
+    policy applies unchanged, while carrying the offence ``kind`` for
+    misbehavior scoring (see :meth:`repro.fleet.pool.EndpointPool.
+    report_misbehavior`).
+    """
+
+    def __init__(self, endpoint: str, kind: str, detail: str = "") -> None:
+        text = f"endpoint {endpoint} misbehaved: {kind}"
+        if detail:
+            text = f"{text} ({detail})"
+        super().__init__(text)
+        self.endpoint = endpoint
+        self.kind = kind
+        self.detail = detail
 
 
 class RpcTimeout(Exception):
@@ -119,7 +174,9 @@ class EndpointHandle:
 
     def __init__(self, node: Node, stream: MessageStream, hello: Hello,
                  session_id: int, buffer_limit: int,
-                 rpc_timeout: Optional[float] = None) -> None:
+                 rpc_timeout: Optional[float] = None,
+                 budget: Optional[SessionBudget] = None,
+                 machine: Optional[SessionStateMachine] = None) -> None:
         self.node = node
         self.sim = node.sim
         self.stream = stream
@@ -131,9 +188,30 @@ class EndpointHandle:
         # None = wait forever (the original behavior); a float bounds
         # every _request and raises RpcTimeout when it elapses.
         self.rpc_timeout = rpc_timeout
+        # Per-session caps; None disables budget enforcement entirely
+        # (sequencing violations are still *recorded*, never enforced).
+        self.budget = budget
+        self.machine = machine or SessionStateMachine(
+            ROLE_CONTROLLER, start_established=True
+        )
+        # Set when a budget trips: the typed outcome every subsequent
+        # caller gets instead of a bare SessionClosed.
+        self.misbehavior: Optional[MisbehaviorError] = None
+        self.budget_exhaustions = 0
+        # True once the session closed with RPCs in flight and no
+        # farewell explaining why — the silent-abandon scoring signal.
+        self.abandoned = False
+        self.decode_errors = 0
+        # Commands that saw no matched response within rpc_timeout.
+        # Callers often absorb RpcTimeout into partial results, so the
+        # handle keeps its own count as harvestable stall evidence.
+        self.rpc_timeouts = 0
 
         self._next_reqid = 1
         self._pending: dict[int, Event] = {}
+        # reqid -> sim time the command was issued (pending-age watchdog).
+        self._pending_started: dict[int, float] = {}
+        self._age_timer = None
         self._obs = node.sim.obs
         self._outbox: Queue = node.sim.queue(name="ctl-outbox")
         self.closed = False
@@ -143,6 +221,7 @@ class EndpointHandle:
         self.notifications: list[Message] = []
         # Records pushed by a streaming-mode endpoint (reqid-0 PollData).
         self.streamed_records: list = []
+        self._streamed_bytes = 0
         # reqid -> op for pipelined commands whose Result nobody awaits;
         # late failures land in deferred_errors instead of being dropped.
         self._nowait_ops: dict[int, str] = {}
@@ -155,18 +234,47 @@ class EndpointHandle:
 
     # -- plumbing -------------------------------------------------------------
 
+    @property
+    def violations(self) -> list:
+        """All protocol violations recorded on this session."""
+        return self.machine.violations
+
     def _reader_loop(self) -> Generator:
         while True:
             try:
                 message = yield from self.stream.recv()
+            except UndecodableFrame as exc:
+                # Frame boundary intact: count it, keep reading until the
+                # decode budget runs out.
+                self.decode_errors += 1
+                violation = self.machine.record(V_DECODE_ERROR, str(exc))
+                self._note_violation(violation)
+                budget = self.budget
+                if (budget is not None
+                        and budget.max_decode_errors is not None
+                        and self.decode_errors > budget.max_decode_errors):
+                    self._exhaust("decode-budget",
+                                  f"{self.decode_errors} undecodable frames")
+                if self.misbehavior is not None:
+                    break
+                continue
             except (TcpError, FramingError):
                 break
             if message is None:
                 break
+            violation = self.machine.observe(message)
+            if violation is not None:
+                # Drop the illegal message; record (and maybe enforce).
+                self._note_violation(violation)
+                if self.misbehavior is not None:
+                    break
+                continue
             if isinstance(message, PollData) and message.reqid == 0:
-                self.streamed_records.extend(message.records)
+                if not self._accept_streamed(message):
+                    break
                 continue
             if isinstance(message, (Result, PollData)):
+                self._pending_started.pop(message.reqid, None)
                 waiter = self._pending.pop(message.reqid, None)
                 if waiter is not None:
                     waiter.fire(message)
@@ -195,6 +303,114 @@ class EndpointHandle:
                 self.end_reason = message.reason
         self._close_pending()
 
+    def _note_violation(self, violation: Violation) -> None:
+        """Account one recorded violation against obs and the budget."""
+        if self._obs.enabled:
+            self._obs.counter("proto.sequence_violations",
+                              kind=violation.kind, side="controller").inc()
+            self._obs.emit("proto", "sequence-violation",
+                           endpoint=self.endpoint_name, kind=violation.kind,
+                           message=violation.message, detail=violation.detail)
+        budget = self.budget
+        if (budget is not None
+                and budget.max_violations is not None
+                and len(self.machine.violations) > budget.max_violations
+                and self.misbehavior is None):
+            self._exhaust(
+                "violation-budget",
+                f"{len(self.machine.violations)} protocol violations",
+            )
+
+    def _accept_streamed(self, message: PollData) -> bool:
+        """Buffer reqid-0 streaming records, enforcing the negotiated cap.
+
+        The cap covers *unconsumed* records: a consumer that drains
+        ``streamed_records`` (bench_a1 style ``clear()``) resets the byte
+        account, mirroring how the endpoint's own capture buffer frees as
+        it is polled.  Overflow records are dropped, recorded as a typed
+        violation, and — when a budget is armed — sever the session.
+        Returns False when the reader loop should stop.
+        """
+        if not self.streamed_records:
+            self._streamed_bytes = 0
+        size = sum(
+            len(record.data) + STREAM_RECORD_OVERHEAD
+            for record in message.records
+        )
+        budget = self.budget
+        limit_bytes = self.buffer_limit or None
+        limit_records = None
+        if budget is not None:
+            if budget.max_streamed_bytes is not None:
+                limit_bytes = budget.max_streamed_bytes
+            limit_records = budget.max_streamed_records
+        over = (
+            (limit_bytes is not None
+             and self._streamed_bytes + size > limit_bytes)
+            or (limit_records is not None
+                and len(self.streamed_records) + len(message.records)
+                > limit_records)
+        )
+        if over:
+            violation = self.machine.record(
+                V_STREAM_OVERFLOW,
+                f"{self._streamed_bytes + size} streamed bytes / "
+                f"{len(self.streamed_records) + len(message.records)} records "
+                f"over negotiated limit",
+            )
+            self._note_violation(violation)
+            if budget is not None and self.misbehavior is None:
+                self._exhaust("stream-overflow", violation.detail)
+            # Without a budget the offending records are simply dropped:
+            # recorded, never buffered, session stays up.
+            return self.misbehavior is None
+        self._streamed_bytes += size
+        self.streamed_records.extend(message.records)
+        return True
+
+    def _exhaust(self, kind: str, detail: str = "") -> None:
+        """A budget cap tripped: sever the session with a typed outcome."""
+        if self.misbehavior is not None:
+            return
+        self.budget_exhaustions += 1
+        self.misbehavior = MisbehaviorError(self.endpoint_name, kind, detail)
+        if self._obs.enabled:
+            self._obs.counter("session.budget_exhausted", kind=kind).inc()
+            self._obs.emit("session", "budget-exhausted",
+                           endpoint=self.endpoint_name, kind=kind,
+                           detail=detail)
+        # Sever the transport so the peer sees the session die too; the
+        # reader/writer loops unwind on the reset.
+        self.stream.conn.abort()
+        self._close_pending()
+
+    # -- pending-age watchdog -------------------------------------------------
+
+    def _arm_age_timer(self) -> None:
+        budget = self.budget
+        if (budget is None or budget.max_pending_age is None
+                or self._age_timer is not None or self.closed
+                or not self._pending_started):
+            return
+        oldest = min(self._pending_started.values())
+        delay = max(0.0, oldest + budget.max_pending_age - self.sim.now)
+        self._age_timer = self.sim.schedule(delay, self._check_pending_age)
+
+    def _check_pending_age(self) -> None:
+        self._age_timer = None
+        budget = self.budget
+        if budget is None or budget.max_pending_age is None or self.closed:
+            return
+        if not self._pending_started:
+            return  # nothing pending: stay disarmed until the next request
+        oldest = min(self._pending_started.values())
+        age = self.sim.now - oldest
+        if age + 1e-9 >= budget.max_pending_age:
+            self._exhaust("rpc-stalled",
+                          f"oldest RPC pending {age:g}s")
+            return
+        self._arm_age_timer()
+
     def _writer_loop(self) -> Generator:
         while True:
             message = yield self._outbox.get()
@@ -210,17 +426,30 @@ class EndpointHandle:
         was_closed = self.closed
         self.closed = True
         pending, self._pending = self._pending, {}
+        self._pending_started.clear()
+        if self._age_timer is not None:
+            self._age_timer.cancel()
+            self._age_timer = None
+        # A peer farewell (SessionEnd, any reason) makes this a legal
+        # shutdown even with RPCs still in flight — the waiters get a
+        # plain SessionClosed and nobody is scored for it.  A transport
+        # death with RPCs pending and *no* farewell and *no* budget
+        # verdict is a silent abandon: the misbehavior-scoring signal.
+        farewell = self.end_reason is not None
+        if not was_closed:
+            self.abandoned = (
+                bool(pending) and not farewell and self.misbehavior is None
+            )
         obs = self._obs
         if obs.enabled and not was_closed:
-            # A session that said goodbye and owes no answers closed
-            # cleanly; anything else died out from under the controller.
-            if self.end_reason == "bye" and not pending:
+            if farewell:
                 obs.emit("rpc", "session-closed",
-                         endpoint=self.endpoint_name)
+                         endpoint=self.endpoint_name,
+                         reason=self.end_reason, pending=len(pending))
             else:
                 obs.counter("rpc.sessions_lost").inc()
                 obs.emit("rpc", "session-lost", endpoint=self.endpoint_name,
-                         pending=len(pending))
+                         pending=len(pending), abandoned=self.abandoned)
         for event in pending.values():
             event.fire(None)
 
@@ -233,12 +462,17 @@ class EndpointHandle:
         the reader loop).
         """
         if self.closed:
+            if self.misbehavior is not None:
+                raise self.misbehavior
             raise SessionClosed("endpoint session is closed")
         obs = self._obs
         op = type(message).__name__.lower()
         started = self.sim.now if obs.enabled else 0.0
         waiter = self.sim.event(name=f"req-{reqid}")
         self._pending[reqid] = waiter
+        self._pending_started[reqid] = self.sim.now
+        self.machine.note_request(reqid)
+        self._arm_age_timer()
         self._outbox.put(message)
         if self.rpc_timeout is not None:
             timeout_event = self.sim.event(name=f"req-{reqid}-timeout")
@@ -246,6 +480,8 @@ class EndpointHandle:
             index, response = yield any_of(self.sim, [waiter, timeout_event])
             if index == 1:
                 self._pending.pop(reqid, None)
+                self._pending_started.pop(reqid, None)
+                self.rpc_timeouts += 1
                 if obs.enabled:
                     obs.counter("rpc.timeouts", op=op).inc()
                     obs.emit("rpc", "timeout", endpoint=self.endpoint_name,
@@ -255,6 +491,8 @@ class EndpointHandle:
         else:
             response = yield waiter
         if response is None:
+            if self.misbehavior is not None:
+                raise self.misbehavior
             raise SessionClosed("endpoint session ended mid-command")
         if obs.enabled:
             obs.counter("controller.rpcs", op=op).inc()
@@ -313,6 +551,7 @@ class EndpointHandle:
             self._obs.counter("controller.rpcs_pipelined").inc()
         reqid = self._reqid()
         self._nowait_ops[reqid] = f"nsend:{sktid}"
+        self.machine.note_request(reqid)
         self._outbox.put(
             NSend(reqid=reqid, sktid=sktid, time=time_ticks, data=data)
         )
@@ -391,11 +630,17 @@ class ControllerServer:
     """
 
     def __init__(self, node: Node, port: int, identity: ExperimentIdentity,
-                 rpc_timeout: Optional[float] = None) -> None:
+                 rpc_timeout: Optional[float] = None,
+                 budget: Optional[SessionBudget] = None) -> None:
         self.node = node
         self.port = port
         self.identity = identity
         self.rpc_timeout = rpc_timeout
+        # Per-session budget applied to every handle this server creates.
+        self.budget = budget
+        # Optional hook(endpoint_name, reason) fired on each AuthFail —
+        # the fleet pool uses it to score repeated auth failures.
+        self.on_auth_fail = None
         self.endpoints: Queue = node.sim.queue(name="controller-endpoints")
         self.auth_failures: list[str] = []
         # Verifier reports from endpoints that rejected a certificate
@@ -416,12 +661,13 @@ class ControllerServer:
 
     def _handshake(self, conn) -> Generator:
         stream = MessageStream(conn)
+        machine = SessionStateMachine(ROLE_CONTROLLER)
         try:
             hello = yield from stream.recv()
         except (TcpError, FramingError):
             conn.close()
             return
-        if not isinstance(hello, Hello):
+        if not isinstance(hello, Hello) or machine.observe(hello) is not None:
             conn.close()
             return
         from repro.proto.constants import PROTOCOL_VERSION
@@ -444,10 +690,16 @@ class ControllerServer:
         except (TcpError, FramingError):
             conn.close()
             return
+        if machine.observe(response) is not None:
+            # e.g. a Result before any auth response: reject the session
+            # outright rather than adopting a peer already off-script.
+            conn.close()
+            return
         if isinstance(response, AuthOk):
             handle = EndpointHandle(
                 self.node, stream, hello, response.session_id,
                 response.buffer_limit, rpc_timeout=self.rpc_timeout,
+                budget=self.budget, machine=machine,
             )
             self.endpoints.put(handle)
         elif isinstance(response, AuthFail):
@@ -456,6 +708,8 @@ class ControllerServer:
                 self.monitor_rejections.append(
                     response.report or response.reason
                 )
+            if self.on_auth_fail is not None:
+                self.on_auth_fail(hello.endpoint_name, response.reason)
             conn.close()
         else:
             conn.close()

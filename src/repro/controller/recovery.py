@@ -88,6 +88,13 @@ class ResilientHandle:
         # Late nsend_nowait failures harvested from sessions this handle
         # has already abandoned (see the deferred_errors property).
         self._deferred_prior: list = []
+        # Misbehavior evidence carried across adopted sessions, so pool
+        # scoring sees one continuous per-endpoint record rather than a
+        # counter that resets on every reconnect.
+        self._violations_prior: list = []
+        self._exhaustions_prior = 0
+        self._abandons_prior = 0
+        self._timeouts_prior = 0
 
     # -- passthrough state ----------------------------------------------------
 
@@ -115,6 +122,31 @@ class ResilientHandle:
     def deferred_errors(self):
         """Late pipelined-command failures across every adopted session."""
         return self._deferred_prior + self.handle.deferred_errors
+
+    @property
+    def violations(self):
+        """Protocol violations recorded across every adopted session."""
+        return self._violations_prior + self.handle.violations
+
+    @property
+    def budget_exhaustions(self) -> int:
+        """Budget trips across every adopted session."""
+        return self._exhaustions_prior + self.handle.budget_exhaustions
+
+    @property
+    def abandons(self) -> int:
+        """Sessions that died with RPCs in flight and no farewell."""
+        return self._abandons_prior + (1 if self.handle.abandoned else 0)
+
+    @property
+    def rpc_timeouts(self) -> int:
+        """Unanswered commands across every adopted session."""
+        return self._timeouts_prior + self.handle.rpc_timeouts
+
+    @property
+    def misbehavior(self):
+        """The current session's budget verdict, if any."""
+        return self.handle.misbehavior
 
     # -- retry machinery ------------------------------------------------------
 
@@ -156,6 +188,11 @@ class ResilientHandle:
             fresh = source.try_get()
             if fresh is not None:
                 self._deferred_prior.extend(self.handle.deferred_errors)
+                self._violations_prior.extend(self.handle.violations)
+                self._exhaustions_prior += self.handle.budget_exhaustions
+                if self.handle.abandoned:
+                    self._abandons_prior += 1
+                self._timeouts_prior += self.handle.rpc_timeouts
                 self.handle = fresh
                 self.gone = False
                 self.reconnects += 1

@@ -47,6 +47,11 @@ class EndpointConfig:
     # stale *before* an RPC ever has to time out on them. 0 = off —
     # the paper's baseline endpoint advertises nothing.
     heartbeat_interval: float = 0.0
+    # Byzantine containment: per-session budgets for controller
+    # misbehavior. A controller exceeding either budget gets a
+    # SessionEnd(reason="protocol-error") farewell and the session ends.
+    session_violation_budget: int = 8
+    session_decode_budget: int = 4
 
     def caps(self) -> int:
         value = CAP_TCP | CAP_UDP

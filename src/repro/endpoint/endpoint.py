@@ -55,7 +55,9 @@ from repro.proto.constants import (
     ST_OK,
     ST_UNSUPPORTED,
 )
-from repro.proto.framing import FramingError, MessageStream
+from repro.proto.constants import END_PROTOCOL_ERROR
+from repro.proto.framing import FramingError, MessageStream, UndecodableFrame
+from repro.proto.statemachine import ROLE_ENDPOINT, SessionStateMachine
 from repro.proto.messages import (
     Auth,
     AuthFail,
@@ -186,6 +188,10 @@ class Session:
             self.monitors.append(vm)
 
         self.suspended = False
+        # Sequencing judge for controller→endpoint traffic; the session
+        # is created post-auth, so it starts established.
+        self.machine = SessionStateMachine(ROLE_ENDPOINT, start_established=True)
+        self.decode_errors = 0
         self._resume_event = sim.event(name=f"{self.name}-resume")
         self.outbox = sim.queue(name=f"{self.name}-outbox")
         self._writer = None
@@ -248,6 +254,9 @@ class Session:
         sim.spawn(self._command_loop(), name=f"{self.name}-commands")
         if self.endpoint.config.stream_captures:
             sim.spawn(self._streaming_loop(), name=f"{self.name}-streamer")
+        adversary = self.endpoint.adversary
+        if adversary is not None:
+            adversary.on_session_start(self)
 
     def _streaming_loop(self) -> Generator:
         """Ablation mode: ship captures immediately (reqid 0 PollData)
@@ -287,14 +296,47 @@ class Session:
                 return
 
     def send_message(self, message: Message) -> None:
+        adversary = self.endpoint.adversary
+        if adversary is not None:
+            message = adversary.outgoing(self, message)
         self.outbox.put(message)
+
+    def _over_session_budget(self) -> bool:
+        config = self.endpoint.config
+        return (
+            len(self.machine.violations) > config.session_violation_budget
+            or self.decode_errors > config.session_decode_budget
+        )
+
+    def _note_violation(self, violation) -> None:
+        if self._obs.enabled:
+            self._obs.counter("proto.sequence_violations",
+                              kind=violation.kind, side="endpoint").inc()
+            self._obs.emit("proto", "sequence-violation", session=self.name,
+                           kind=violation.kind, message=violation.message,
+                           detail=violation.detail)
 
     def _command_loop(self) -> Generator:
         reason = "transport"
+        adversary = self.endpoint.adversary
         try:
             while True:
                 try:
                     message = yield from self.stream.recv()
+                except UndecodableFrame:
+                    # The frame boundary survived: charge the decode
+                    # budget and keep serving until it runs out.
+                    self.decode_errors += 1
+                    self._note_violation(
+                        self.machine.record("decode-error")
+                    )
+                    if self._over_session_budget():
+                        self.send_message(
+                            SessionEnd(reason=END_PROTOCOL_ERROR)
+                        )
+                        reason = END_PROTOCOL_ERROR
+                        break
+                    continue
                 except (TcpError, FramingError):
                     reason = "transport"
                     break
@@ -306,6 +348,19 @@ class Session:
                 # controller can still leave cleanly.
                 while self.suspended and not isinstance(message, Bye):
                     yield self._resume_event
+                violation = self.machine.observe(message)
+                if violation is not None:
+                    self._note_violation(violation)
+                    if self._over_session_budget():
+                        self.send_message(
+                            SessionEnd(reason=END_PROTOCOL_ERROR)
+                        )
+                        reason = END_PROTOCOL_ERROR
+                        break
+                    # Out-of-place but well-formed: report and drop, as
+                    # the old unknown-command path did.
+                    self.send_message(Result(reqid=0, status=ST_BAD_ARGUMENT))
+                    continue
                 self.commands_processed += 1
                 if self._obs.enabled:
                     self._obs.counter(
@@ -317,6 +372,10 @@ class Session:
                     break
                 if isinstance(message, Yield):
                     self.endpoint.contention.yield_control(self)
+                    continue
+                if adversary is not None and adversary.intercept_command(
+                    self, message
+                ):
                     continue
                 yield from self._dispatch(message)
         finally:
@@ -532,6 +591,10 @@ class Endpoint:
         self._next_session_id = 1
         self._seen_descriptors: set[bytes] = set()
         self.auth_failures = 0
+        # Byzantine fault model: when set (FaultPlan.byzantine), every
+        # session consults this adversary for stall/flood/fabricate/
+        # desequence/tamper behaviors. None = honest endpoint.
+        self.adversary = None
         # Crash-and-restart fault model (driven by netsim.faults).
         self.crashed = False
         self._restart_event = None

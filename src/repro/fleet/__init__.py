@@ -31,12 +31,18 @@ from repro.fleet.aggregate import (
     Rollup,
 )
 from repro.fleet.heartbeat import HeartbeatMonitor
-from repro.fleet.pool import EndpointPool, PooledEndpoint, PoolError
+from repro.fleet.pool import (
+    EndpointPool,
+    MisbehaviorPolicy,
+    PooledEndpoint,
+    PoolError,
+)
 from repro.fleet.scheduler import (
     CampaignContext,
     CampaignJob,
     CampaignReport,
     CampaignScheduler,
+    CrossValidation,
     TokenBucket,
 )
 from repro.fleet.shard import ShardedRendezvous, shard_for, subscribe_endpoint
@@ -48,9 +54,11 @@ __all__ = [
     "CampaignReport",
     "CampaignScheduler",
     "CounterSet",
+    "CrossValidation",
     "EndpointPool",
     "FleetTestbed",
     "HeartbeatMonitor",
+    "MisbehaviorPolicy",
     "PoolError",
     "PooledEndpoint",
     "QuantileSketch",

@@ -170,6 +170,33 @@ class Rollup:
         }
 
 
+def counters_fingerprint(metrics: Optional[dict]) -> str:
+    """Canonical fingerprint of a job's counter metrics.
+
+    Cross-validation compares redundant runs of the same job on
+    different endpoints.  Value streams (RTTs) legitimately differ
+    between vantage points, but the *counters* — probes sent, replies
+    received, losses — describe what the endpoint claims happened and
+    must agree; a fabricating endpoint shows up as the counter outlier.
+    """
+    counters = (metrics or {}).get("counters") or {}
+    return json.dumps(counters, sort_keys=True, separators=(",", ":"))
+
+
+def majority_fingerprint(
+    fingerprints: Iterable[str],
+) -> tuple[Optional[str], int]:
+    """The most common fingerprint and its vote count (ties break on the
+    smaller fingerprint string, keeping adjudication deterministic)."""
+    votes: dict[str, int] = {}
+    for fingerprint in fingerprints:
+        votes[fingerprint] = votes.get(fingerprint, 0) + 1
+    if not votes:
+        return None, 0
+    winner = min(votes, key=lambda fp: (-votes[fp], fp))
+    return winner, votes[winner]
+
+
 class ResultAggregator:
     """Streaming per-endpoint + campaign-level rollups.
 

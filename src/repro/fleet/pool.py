@@ -53,6 +53,7 @@ so a blocked scheduler wakes the moment dispatchability shifts.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass, field
 from random import Random
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 from zlib import crc32
@@ -79,6 +80,49 @@ DEFAULT_QUARANTINE_BACKOFF = RetryPolicy(
     jitter=0.1,
 )
 
+# Default offence weights: how strongly each misbehavior kind moves an
+# endpoint's score. Kinds are the statemachine/budget vocabulary plus
+# the fleet-level detectors (result-mismatch, auth-failure, job-failure).
+DEFAULT_MISBEHAVIOR_WEIGHTS: dict[str, float] = {
+    "sequence-violation": 1.0,
+    "decode-error": 1.0,
+    "stream-overflow": 3.0,
+    "rpc-stalled": 3.0,
+    "violation-budget": 3.0,
+    "decode-budget": 3.0,
+    "budget-exhausted": 3.0,
+    "silent-abandon": 1.0,
+    "result-mismatch": 4.0,
+    "auth-failure": 2.0,
+    "job-failure": 0.5,
+    # One unanswered command. Callers often absorb RpcTimeout into a
+    # partial result the job still completes with, so timeouts are
+    # harvested from the handle directly — otherwise a stall adversary
+    # that only eats probes mid-run leaves no scored evidence at all.
+    "rpc-timeout": 0.5,
+}
+
+
+@dataclass
+class MisbehaviorPolicy:
+    """Scoring rules turning per-session evidence into pool consequences.
+
+    Scores decay exponentially with simulated time (``half_life``), so a
+    burst of old offences is eventually forgiven, while an endpoint that
+    keeps offending ratchets upward.  Crossing ``quarantine_score``
+    sends an ACTIVE endpoint through the existing quarantine/backoff
+    machinery (repeat offenders back off harder, exactly like repeat
+    job-failers); crossing ``depart_score`` removes it permanently.
+    """
+
+    weights: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_MISBEHAVIOR_WEIGHTS)
+    )
+    default_weight: float = 1.0
+    half_life: float = 60.0
+    quarantine_score: float = 5.0
+    depart_score: float = 20.0
+
 
 class PoolError(Exception):
     """Raised when the pool cannot satisfy a population/acquire request."""
@@ -91,7 +135,8 @@ class PooledEndpoint:
         "name", "handle", "queue", "max_concurrent", "inflight",
         "jobs_completed", "failures", "state", "quarantines", "drains",
         "adopted_at", "deferred_reported", "_avail_queued",
-        "_readmit_timer",
+        "_readmit_timer", "score", "score_at", "violations_reported",
+        "exhaustions_reported", "abandons_reported", "timeouts_reported",
     )
 
     def __init__(self, name: str, queue: Queue,
@@ -115,6 +160,17 @@ class PooledEndpoint:
         self._avail_queued = False
         # Armed while quarantined: the pending readmission timer.
         self._readmit_timer = None
+        # Misbehavior scoring state: current decayed score and the sim
+        # time it was last decayed to.
+        self.score = 0.0
+        self.score_at = 0.0
+        # High-water marks of handle evidence already folded into
+        # scoring (violations / budget exhaustions / silent abandons),
+        # so each offence is scored exactly once.
+        self.violations_reported = 0
+        self.exhaustions_reported = 0
+        self.abandons_reported = 0
+        self.timeouts_reported = 0
 
     @property
     def quarantined(self) -> bool:
@@ -141,6 +197,7 @@ class EndpointPool:
         quarantine_after: Optional[int] = None,
         quarantine_backoff: Optional["RetryPolicy"] = None,
         reacquire_timeout: float = 30.0,
+        misbehavior: Optional[MisbehaviorPolicy] = None,
     ) -> None:
         self.server = server
         self.sim = server.node.sim
@@ -159,6 +216,19 @@ class EndpointPool:
         self.quarantine_after = quarantine_after
         self.quarantine_backoff = quarantine_backoff or \
             DEFAULT_QUARANTINE_BACKOFF
+        # None disables misbehavior scoring entirely (the default —
+        # honest-but-faulty fleets should not be penalized for churn).
+        self.misbehavior = misbehavior
+        # Lifetime evidence, surviving departure/readoption: undecayed
+        # score totals and per-kind offence counts per endpoint name.
+        self.misbehavior_totals: dict[str, float] = {}
+        self.offense_log: dict[str, dict[str, int]] = {}
+        # Names removed for crossing depart_score (chronic offenders).
+        # `banned` makes the departure permanent: unlike ordinary churn
+        # departure, a banned endpoint re-dialing is turned away at
+        # adoption instead of rejoining with a clean slate.
+        self.misbehavior_departed: list[str] = []
+        self.banned: set[str] = set()
         self.endpoints: dict[str, PooledEndpoint] = {}
         # Names removed from the pool (crashed with no return, handle
         # gave up, operator withdrew). A rejoining endpoint is adopted
@@ -204,6 +274,13 @@ class EndpointPool:
 
     def _adopt(self, raw: "EndpointHandle") -> None:
         name = raw.endpoint_name
+        if name in self.banned:
+            # Departed for chronic misbehavior: permanently unwelcome.
+            raw.bye()
+            if self._obs.enabled:
+                self._obs.counter("fleet.banned_rejected").inc()
+                self._obs.emit("fleet", "banned-rejected", endpoint=name)
+            return
         pooled = self.endpoints.get(name)
         if pooled is None:
             pooled = PooledEndpoint(
@@ -303,14 +380,18 @@ class EndpointPool:
         return False
 
     def acquire(self, pinned: Optional[str] = None,
-                avoid: Optional[str] = None) -> Optional[PooledEndpoint]:
+                avoid: Optional[str] = None,
+                exclude=None) -> Optional[PooledEndpoint]:
         """Claim an endpoint slot, or None if nothing suitable is free.
 
         Deterministic: unpinned work goes to the first available
         endpoint in name order (stable across same-seed runs). ``avoid``
         steers a retried job away from the endpoint it just failed on —
         unless that endpoint is the only one available, in which case
-        spinning on it beats stranding the job.
+        spinning on it beats stranding the job. ``exclude`` (a container
+        of names) is a *hard* bar with no last resort: cross-validation
+        replicas must land on distinct endpoints or their quorum proves
+        nothing.
         """
         if pinned is not None:
             pooled = self.endpoints.get(pinned)
@@ -321,6 +402,8 @@ class EndpointPool:
         avail = self._avail
         endpoints = self.endpoints
         deferred: Optional[PooledEndpoint] = None
+        excluded: list[PooledEndpoint] = []
+        chosen: Optional[PooledEndpoint] = None
         while avail:
             pooled = endpoints.get(heapq.heappop(avail))
             if pooled is None:
@@ -328,25 +411,31 @@ class EndpointPool:
             pooled._avail_queued = False
             if not pooled.available:
                 continue
+            if exclude is not None and pooled.name in exclude:
+                excluded.append(pooled)
+                continue
             if avoid is not None and pooled.name == avoid \
                     and deferred is None:
                 # Hold the avoided endpoint aside; keep looking for an
                 # alternate.
                 deferred = pooled
                 continue
-            if deferred is not None:
-                self._mark_available(deferred)
-            pooled.inflight += 1
-            # Multi-slot endpoints stay in the heap while capacity
-            # remains.
-            self._mark_available(pooled)
-            return pooled
-        if deferred is not None:
+            chosen = pooled
+            break
+        if chosen is None and deferred is not None:
             # Nothing else free: last resort is the avoided endpoint.
-            deferred.inflight += 1
+            chosen, deferred = deferred, None
+        # Put every held-aside endpoint back before returning.
+        for held in excluded:
+            self._mark_available(held)
+        if deferred is not None:
             self._mark_available(deferred)
-            return deferred
-        return None
+        if chosen is None:
+            return None
+        chosen.inflight += 1
+        # Multi-slot endpoints stay in the heap while capacity remains.
+        self._mark_available(chosen)
+        return chosen
 
     def release(self, pooled: PooledEndpoint, failed: bool = False) -> None:
         pooled.inflight -= 1
@@ -385,9 +474,87 @@ class EndpointPool:
             or self._draining > 0
         )
 
+    # -- misbehavior scoring ----------------------------------------------------
+
+    def _decay_score(self, pooled: PooledEndpoint) -> None:
+        policy = self.misbehavior
+        if policy is None:
+            return
+        now = self.sim.now
+        if pooled.score > 0.0 and policy.half_life > 0.0:
+            elapsed = now - pooled.score_at
+            if elapsed > 0.0:
+                pooled.score *= 0.5 ** (elapsed / policy.half_life)
+        pooled.score_at = now
+
+    def misbehavior_score(self, name: str) -> float:
+        """Current (decayed) score for a pooled endpoint; 0 if unknown."""
+        pooled = self.endpoints.get(name)
+        if pooled is None:
+            return 0.0
+        self._decay_score(pooled)
+        return pooled.score
+
+    def report_misbehavior(self, name: str, kind: str, count: int = 1,
+                           weight: Optional[float] = None,
+                           detail: str = "") -> float:
+        """Score an offence against an endpoint; returns the new score.
+
+        No-op unless the pool was built with a
+        :class:`MisbehaviorPolicy`.  Crossing ``quarantine_score`` sends
+        an ACTIVE offender through the quarantine/backoff machinery;
+        crossing ``depart_score`` removes it permanently.  Evidence is
+        also logged to ``misbehavior_totals``/``offense_log``, which
+        survive departure so reports and benches can audit detection
+        even after the offender is gone.
+        """
+        policy = self.misbehavior
+        if policy is None:
+            return 0.0
+        if weight is None:
+            weight = policy.weights.get(kind, policy.default_weight)
+        added = weight * count
+        self.misbehavior_totals[name] = (
+            self.misbehavior_totals.get(name, 0.0) + added
+        )
+        log = self.offense_log.setdefault(name, {})
+        log[kind] = log.get(kind, 0) + count
+        if self._obs.enabled:
+            self._obs.counter("pool.misbehavior_score", kind=kind).inc(count)
+            self._obs.emit("pool", "misbehavior", endpoint=name, kind=kind,
+                           count=count, detail=detail)
+        pooled = self.endpoints.get(name)
+        if pooled is None:
+            return 0.0  # already departed; evidence logged above
+        self._decay_score(pooled)
+        pooled.score += added
+        score = pooled.score
+        if score >= policy.depart_score:
+            self.banned.add(name)
+            self.misbehavior_departed.append(name)
+            self.remove(name, reason="chronic-misbehavior")
+        elif score >= policy.quarantine_score and pooled.state == ACTIVE:
+            self._quarantine(pooled, reason="misbehavior")
+        return score
+
+    def misbehavior_summary(self) -> dict:
+        """Deterministic audit of all scored offences (for reports)."""
+        return {
+            "totals": {
+                name: round(total, 6)
+                for name, total in sorted(self.misbehavior_totals.items())
+            },
+            "offenses": {
+                name: dict(sorted(kinds.items()))
+                for name, kinds in sorted(self.offense_log.items())
+            },
+            "departed": sorted(self.misbehavior_departed),
+        }
+
     # -- lifecycle transitions ------------------------------------------------
 
-    def _quarantine(self, pooled: PooledEndpoint) -> None:
+    def _quarantine(self, pooled: PooledEndpoint,
+                    reason: str = "job-failures") -> None:
         """ACTIVE -> QUARANTINED, with readmission pre-scheduled."""
         pooled.state = QUARANTINED
         pooled.quarantines += 1
@@ -404,6 +571,7 @@ class EndpointPool:
             self._obs.emit("fleet", "endpoint-quarantined",
                            endpoint=pooled.name,
                            failures=pooled.failures,
+                           reason=reason,
                            readmit_in=delay)
 
     def _readmit(self, name: str) -> None:

@@ -28,7 +28,11 @@ from random import Random
 from typing import Any, Callable, Generator, Optional
 
 from repro.controller.client import CommandError, RpcTimeout, SessionClosed
-from repro.fleet.aggregate import ResultAggregator
+from repro.fleet.aggregate import (
+    ResultAggregator,
+    counters_fingerprint,
+    majority_fingerprint,
+)
 from repro.fleet.pool import EndpointPool, PooledEndpoint
 from repro.util.retry import RetryPolicy
 
@@ -67,6 +71,49 @@ class CampaignJob:
     # Where the last attempt failed: a retried unpinned job is steered
     # to an alternate endpoint (retry-on-alternate, not spin-on-dead).
     last_endpoint: Optional[str] = None
+    # Set by cross-validation replica expansion: the _ReplicaGroup this
+    # job (original or clone) reports into for adjudication.
+    group: Any = None
+
+
+@dataclass
+class CrossValidation:
+    """Opt-in redundant dispatch for result integrity.
+
+    A seeded sample of ``fraction`` of the unpinned jobs is cloned into
+    ``k`` total replicas each.  When a replica group completes, the
+    members' counter fingerprints are compared: with a ≥2-vote majority,
+    any disagreeing member is an *outlier* — its metrics are discarded
+    (kept out of the campaign rollups) and the endpoint that produced it
+    is reported to the pool's misbehavior scoring as ``result-mismatch``.
+    """
+
+    fraction: float = 0.1
+    k: int = 3
+    # Optional override: metrics dict -> hashable fingerprint.  Default
+    # compares canonical counter JSON (value streams like RTTs may
+    # legitimately differ across vantage points).
+    fingerprint: Optional[Callable[[dict], Any]] = None
+    # Pinned jobs are audited deterministically (every one replicated,
+    # ignoring ``fraction``): pinning names the endpoint you care about,
+    # so a campaign can spot-check its whole fleet by pinning one audit
+    # job per endpoint. The replicas themselves run unpinned elsewhere.
+    audit_pinned: bool = True
+
+
+class _ReplicaGroup:
+    """Completion tracker for one cross-validated job's replicas."""
+
+    __slots__ = ("name", "expect", "members", "used")
+
+    def __init__(self, name: str, expect: int) -> None:
+        self.name = name
+        self.expect = expect
+        # (endpoint_name, metrics_or_None, failed) in completion order.
+        self.members: list[tuple[str, Optional[dict], bool]] = []
+        # Endpoints any member has been dispatched to: siblings must run
+        # elsewhere, or the "independent" votes share one liar.
+        self.used: set[str] = set()
 
 
 class TokenBucket:
@@ -127,13 +174,17 @@ class CampaignReport:
         self.peak_inflight = 0
         self.endpoint_count = len(pool.endpoints)
         self.unschedulable: list[str] = []
+        # Filled at campaign end when the pool scores misbehavior (the
+        # audit from EndpointPool.misbehavior_summary); None otherwise,
+        # keeping reports byte-identical for campaigns without scoring.
+        self.misbehavior: Optional[dict] = None
 
     @property
     def makespan(self) -> float:
         return self.finished - self.started
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "campaign": self.name,
             "seed": self.seed,
             "jobs": {
@@ -153,6 +204,9 @@ class CampaignReport:
             },
             "results": self.aggregator.report(),
         }
+        if self.misbehavior is not None:
+            data["misbehavior"] = self.misbehavior
+        return data
 
     def to_json(self) -> str:
         """Canonical byte-stable encoding (the determinism contract)."""
@@ -202,11 +256,15 @@ class CampaignScheduler:
         seed: int = 0,
         context: Optional[CampaignContext] = None,
         aggregator: Optional[ResultAggregator] = None,
+        cross_validate: Optional[CrossValidation] = None,
     ) -> None:
         self.pool = pool
         self.sim = pool.sim
         self.name = name
         self.jobs = list(jobs)
+        self.cross_validate = cross_validate
+        if cross_validate is not None:
+            self._expand_replicas(cross_validate, seed)
         self.max_concurrency = max(1, max_concurrency)
         self.retry_policy = retry_policy or RetryPolicy()
         self.rng = Random(seed)
@@ -226,6 +284,44 @@ class CampaignScheduler:
         self._pending_requeues = 0  # backoff timers not yet fired
         self._token_timer_armed = False
         self.report = CampaignReport(name, seed, self.aggregator, pool)
+
+    def _expand_replicas(self, config: CrossValidation, seed: int) -> None:
+        """Clone a seeded sample of unpinned jobs into replica groups.
+
+        Uses its own derived RNG so sampling never perturbs the retry
+        RNG's draw order (same seed, same schedule with or without
+        cross-validation of a disjoint job set).  Clones are inserted
+        directly after their original, so a group's replicas dispatch
+        adjacently and — with name-ordered acquire — land on distinct
+        endpoints whenever the fleet has spare capacity.
+        """
+        rng = Random((seed << 3) ^ 0x51ED2701)
+        expanded: list[CampaignJob] = []
+        for job in self.jobs:
+            expanded.append(job)
+            if config.k < 2:
+                continue
+            if job.endpoint is not None:
+                if not config.audit_pinned:
+                    continue
+            elif rng.random() >= config.fraction:
+                continue
+            group = _ReplicaGroup(job.name, expect=config.k)
+            job.group = group
+            if job.endpoint is not None:
+                # Replicas of a pinned audit must run elsewhere even if
+                # they reach the dispatcher before the original does.
+                group.used.add(job.endpoint)
+            for index in range(1, config.k):
+                expanded.append(
+                    CampaignJob(
+                        name=f"{job.name}~r{index}",
+                        run=job.run,
+                        metrics=job.metrics,
+                        group=group,
+                    )
+                )
+        self.jobs = expanded
 
     # -- main loop ------------------------------------------------------------
 
@@ -285,6 +381,15 @@ class CampaignScheduler:
         self.pool.on_change = None
         self.report.finished = self.sim.now
         self.report.endpoint_count = len(self.pool.endpoints)
+        if self.pool.misbehavior is not None:
+            # Final evidence sweep: a session that misbehaved while idle
+            # (a flooder aborted between jobs, say) left its evidence on
+            # the handle with no job completion to harvest it.
+            for name in sorted(self.pool.endpoints):
+                pooled = self.pool.endpoints.get(name)
+                if pooled is not None:
+                    self._harvest_misbehavior(pooled)
+            self.report.misbehavior = self.pool.misbehavior_summary()
         if span is not None:
             span.end(completed=self.report.jobs_completed,
                      failed=self.report.jobs_failed,
@@ -309,11 +414,28 @@ class CampaignScheduler:
                 self.bucket.tokens = min(self.bucket.burst,
                                          self.bucket.tokens + 1.0)
                 break
+            group = job.group
             pooled = self.pool.acquire(
                 job.endpoint,
                 avoid=job.last_endpoint if job.endpoint is None else None,
+                exclude=group.used if group is not None else None,
             )
+            if pooled is None and group is not None:
+                if self._inflight > 0:
+                    # Every free endpoint already served this replica
+                    # group; requeue behind other work and wait for a
+                    # distinct one to free up (a completion wakes us).
+                    self.bucket.tokens = min(self.bucket.burst,
+                                             self.bucket.tokens + 1.0)
+                    self._queue.append(job)
+                    break
+                # Nothing running and nothing distinct free: liveness
+                # beats replica independence.
+                pooled = self.pool.acquire(job.endpoint,
+                                           avoid=job.last_endpoint)
             assert pooled is not None  # _pop_dispatchable checked
+            if group is not None:
+                group.used.add(pooled.name)
             self._inflight += 1
             self.report.peak_inflight = max(self.report.peak_inflight,
                                             self._inflight)
@@ -450,6 +572,13 @@ class CampaignScheduler:
             self._inflight -= 1
             self.pool.release(pooled, failed=True)
             job.last_endpoint = pooled.name
+            self._harvest_misbehavior(pooled)
+            # Every failed attempt is weak evidence against the endpoint
+            # it failed on (a stalling adversary surfaces as repeated
+            # RpcTimeouts); the pool's policy weighs it (no-op when
+            # scoring is off).
+            self.pool.report_misbehavior(pooled.name, "job-failure",
+                                         detail=job.error or "")
             if self._obs.enabled:
                 self._obs.gauge("fleet.inflight").set(self._inflight)
             if (
@@ -487,6 +616,7 @@ class CampaignScheduler:
         if self._obs.enabled:
             self._obs.gauge("fleet.inflight").set(self._inflight)
         self._harvest_deferred(pooled)
+        self._harvest_misbehavior(pooled)
         self._finish_job(job, result, failed=False,
                          endpoint_name=pooled.name)
 
@@ -509,14 +639,82 @@ class CampaignScheduler:
             self._obs.emit("fleet", "deferred-errors",
                            endpoint=pooled.name, fresh=fresh)
 
+    def _harvest_misbehavior(self, pooled: PooledEndpoint) -> None:
+        """Fold newly observed session evidence into scoring + results.
+
+        Evidence accumulates on the handle (violations, budget
+        exhaustions, silent abandons); the pooled endpoint tracks
+        high-water marks so each offence is counted exactly once even
+        though harvesting runs after every job on the shared session.
+        """
+        handle = pooled.handle
+        if handle is None:
+            return
+        violations = handle.violations
+        fresh = len(violations) - pooled.violations_reported
+        if fresh > 0:
+            pooled.violations_reported = len(violations)
+            self.aggregator.total.counters.add("protocol_violations", fresh)
+            self.aggregator.endpoint(pooled.name).counters.add(
+                "protocol_violations", fresh
+            )
+            for violation in violations[-fresh:]:
+                kind = violation.kind
+                if kind not in ("decode-error", "stream-overflow"):
+                    kind = "sequence-violation"
+                self.pool.report_misbehavior(pooled.name, kind,
+                                             detail=violation.detail)
+        exhaustions = handle.budget_exhaustions
+        fresh = exhaustions - pooled.exhaustions_reported
+        if fresh > 0:
+            pooled.exhaustions_reported = exhaustions
+            self.aggregator.total.counters.add("budget_exhaustions", fresh)
+            self.aggregator.endpoint(pooled.name).counters.add(
+                "budget_exhaustions", fresh
+            )
+            misbehavior = handle.misbehavior
+            kind = misbehavior.kind if misbehavior is not None \
+                else "budget-exhausted"
+            self.pool.report_misbehavior(pooled.name, kind, count=fresh)
+        abandons = getattr(handle, "abandons", 0)
+        fresh = abandons - pooled.abandons_reported
+        if fresh > 0:
+            pooled.abandons_reported = abandons
+            self.aggregator.total.counters.add("silent_abandons", fresh)
+            self.aggregator.endpoint(pooled.name).counters.add(
+                "silent_abandons", fresh
+            )
+            self.pool.report_misbehavior(pooled.name, "silent-abandon",
+                                         count=fresh)
+        # Unanswered commands are stall evidence even when the caller
+        # absorbed the RpcTimeout into a partial-but-completed result.
+        timeouts = getattr(handle, "rpc_timeouts", 0)
+        fresh = timeouts - pooled.timeouts_reported
+        if fresh > 0:
+            pooled.timeouts_reported = timeouts
+            self.aggregator.total.counters.add("rpc_timeouts", fresh)
+            self.aggregator.endpoint(pooled.name).counters.add(
+                "rpc_timeouts", fresh
+            )
+            self.pool.report_misbehavior(pooled.name, "rpc-timeout",
+                                         count=fresh)
+
     def _finish_job(self, job: CampaignJob, result, failed: bool,
                     endpoint_name: str) -> None:
         self._outstanding -= 1
         metrics = None
         if not failed and job.metrics is not None:
             metrics = job.metrics(result)
-        self.aggregator.observe(endpoint_name or "(none)", metrics,
-                                failed=failed)
+        group = job.group
+        if group is not None:
+            # Cross-validated: park the member; rollups happen (with
+            # outlier filtering) when the whole group has reported.
+            group.members.append((endpoint_name or "(none)", metrics, failed))
+            if len(group.members) >= group.expect:
+                self._adjudicate(group)
+        else:
+            self.aggregator.observe(endpoint_name or "(none)", metrics,
+                                    failed=failed)
         if failed:
             self.report.jobs_failed += 1
             if self._obs.enabled:
@@ -527,6 +725,51 @@ class CampaignScheduler:
             self.report.jobs_completed += 1
             if self._obs.enabled:
                 self._obs.counter("fleet.jobs_completed").inc()
+
+    def _adjudicate(self, group: _ReplicaGroup) -> None:
+        """Compare a completed replica group; flag and discard outliers."""
+        config = self.cross_validate
+        fingerprint = (
+            config.fingerprint if config is not None
+            and config.fingerprint is not None else counters_fingerprint
+        )
+        fingerprints = [
+            fingerprint(metrics)
+            for _, metrics, failed in group.members
+            if not failed and metrics is not None
+        ]
+        majority, votes = majority_fingerprint(fingerprints)
+        # A single vote proves nothing; demand a 2-of-k quorum before
+        # accusing anyone.
+        quorum = majority is not None and votes >= 2
+        counters = self.aggregator.total.counters
+        counters.add("cross_validation_groups", 1)
+        if not quorum:
+            counters.add("cross_validation_inconclusive", 1)
+        for endpoint_name, metrics, failed in group.members:
+            outlier = (
+                quorum and not failed and metrics is not None
+                and fingerprint(metrics) != majority
+            )
+            if outlier:
+                # The job completed, but its numbers disagree with the
+                # quorum: keep them out of the rollups and score the
+                # endpoint that produced them.
+                self.aggregator.observe(endpoint_name, None, failed=False)
+                counters.add("cross_validation_outliers", 1)
+                self.aggregator.endpoint(endpoint_name).counters.add(
+                    "cross_validation_outliers", 1
+                )
+                self.pool.report_misbehavior(
+                    endpoint_name, "result-mismatch",
+                    detail=f"group {group.name}",
+                )
+                if self._obs.enabled:
+                    self._obs.counter("fleet.cross_validation_outliers").inc()
+                    self._obs.emit("fleet", "cross-validation-outlier",
+                                   job=group.name, endpoint=endpoint_name)
+            else:
+                self.aggregator.observe(endpoint_name, metrics, failed=failed)
 
     def _note_queue_depth(self) -> None:
         if self._obs.enabled:

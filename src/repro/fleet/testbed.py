@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from repro.controller.client import ControllerServer
+from repro.controller.client import ControllerServer, SessionBudget
 from repro.controller.session import Experimenter
 from repro.crypto.certificate import Restrictions
 from repro.crypto.keys import KeyPair
@@ -34,12 +34,13 @@ from repro.endpoint.config import EndpointConfig
 from repro.endpoint.endpoint import Endpoint
 from repro.fleet.aggregate import ResultAggregator
 from repro.fleet.heartbeat import HeartbeatMonitor
-from repro.fleet.pool import EndpointPool
+from repro.fleet.pool import EndpointPool, MisbehaviorPolicy
 from repro.fleet.scheduler import (
     CampaignContext,
     CampaignJob,
     CampaignReport,
     CampaignScheduler,
+    CrossValidation,
 )
 from repro.fleet.shard import ShardedRendezvous, subscribe_endpoint
 from repro.netsim.kernel import EventScheduler, Simulator
@@ -160,6 +161,7 @@ class FleetTestbed:
         experiment_restrictions: Optional[Restrictions] = None,
         experimenter: Optional[Experimenter] = None,
         rpc_timeout: Optional[float] = None,
+        session_budget: Optional[SessionBudget] = None,
     ) -> tuple[ControllerServer, ExperimentDescriptor]:
         who = experimenter or self.experimenter
         port = port or self.allocate_port()
@@ -172,7 +174,8 @@ class FleetTestbed:
             experiment_restrictions=experiment_restrictions,
         )
         server = ControllerServer(
-            self.controller_host, port, identity, rpc_timeout=rpc_timeout
+            self.controller_host, port, identity, rpc_timeout=rpc_timeout,
+            budget=session_budget,
         ).start()
         return server, descriptor
 
@@ -205,6 +208,9 @@ class FleetTestbed:
         heartbeat_stale_after: Optional[float] = None,
         heartbeat_depart_after: Optional[float] = None,
         heartbeat_sweep_interval: Optional[float] = None,
+        session_budget: Optional[SessionBudget] = None,
+        misbehavior: Optional[MisbehaviorPolicy] = None,
+        cross_validate: Optional[CrossValidation] = None,
     ) -> CampaignReport:
         """Publish, subscribe, populate, schedule, tear down — one call.
 
@@ -216,6 +222,12 @@ class FleetTestbed:
         the scheduler: stale endpoints are drained before RPCs fail on
         them (default threshold 3 beacon intervals) and long-silent ones
         are removed (default 10 intervals).
+
+        Byzantine containment is opt-in: ``session_budget`` arms
+        per-session resource budgets on every handle, ``misbehavior``
+        turns endpoint-level scoring/quarantine/departure on, and
+        ``cross_validate`` re-runs a seeded sample of jobs redundantly
+        to catch fabricated results.
         """
         self.rendezvous.start()
         server, descriptor = self.make_controller(
@@ -223,6 +235,7 @@ class FleetTestbed:
             priority=priority,
             rpc_timeout=rpc_timeout,
             experiment_restrictions=experiment_restrictions,
+            session_budget=session_budget,
         )
         pool = EndpointPool(
             server,
@@ -232,7 +245,14 @@ class FleetTestbed:
             quarantine_after=quarantine_after,
             quarantine_backoff=quarantine_backoff,
             reacquire_timeout=reacquire_timeout,
+            misbehavior=misbehavior,
         )
+        if misbehavior is not None:
+            server.on_auth_fail = (
+                lambda name, reason: pool.report_misbehavior(
+                    name, "auth-failure", detail=reason
+                )
+            )
         monitor: Optional[HeartbeatMonitor] = None
         if self.heartbeat_interval > 0:
             beat = self.heartbeat_interval
@@ -260,6 +280,7 @@ class FleetTestbed:
             seed=self.seed,
             context=context,
             aggregator=ResultAggregator(campaign=campaign_name),
+            cross_validate=cross_validate,
         )
         want = populate_count if populate_count is not None \
             else len(self.endpoints)

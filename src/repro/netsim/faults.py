@@ -25,17 +25,210 @@ Design notes:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from random import Random
-from typing import TYPE_CHECKING, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Generator, Iterable, Optional, Union
+from zlib import crc32
 
 from repro.netsim.kernel import Simulator
 from repro.netsim.links import Link, LinkDirection
+from repro.proto.messages import CaptureRecord, PollData, Resumed, Result
 
 if TYPE_CHECKING:
     from repro.endpoint.endpoint import Endpoint
     from repro.rendezvous.server import RendezvousServer
 
 LinkLike = Union[Link, LinkDirection]
+
+#: Adversary behaviors :meth:`FaultPlan.byzantine` can assign, in the
+#: round-robin order used when a plan seeds several adversaries.
+BYZANTINE_BEHAVIORS = ("stall", "flood", "fabricate", "desequence", "tamper")
+
+
+class ByzantineAdversary:
+    """Seeded misbehavior driver attached to one endpoint.
+
+    An adversary reproduces one Byzantine behavior class against every
+    session its endpoint serves:
+
+    - ``stall``    — swallow a fraction of reqid-bearing commands so the
+      controller's RPCs time out (slowloris).
+    - ``flood``    — pump unsolicited reqid-0 PollData at the controller
+      regardless of capture state (stream-budget abuse).
+    - ``fabricate``— lie in PollData responses: suppress real capture
+      records and substitute invented ones, yielding plausible,
+      well-formed results that do not reflect what happened on the
+      wire. Invisible to per-session checks; caught by cross-validating
+      the job against honest replicas.
+    - ``desequence``— emit protocol-illegal frames: Results for reqids
+      never issued, Resumed without a preceding Interrupted.
+    - ``tamper``   — bit-flip the payload of every shipped capture
+      record (plausible frames, corrupt contents).
+
+    All randomness comes from the per-endpoint ``Random`` handed in by
+    :meth:`FaultPlan.byzantine`, so a given plan seed produces a
+    bit-identical attack schedule. Activations are tallied on the plan
+    (``byzantine_events`` / ``byzantine_activations``) and, when
+    telemetry is on, as ``fault.byzantine`` counters.
+    """
+
+    __slots__ = (
+        "plan",
+        "endpoint_name",
+        "behavior",
+        "rng",
+        "start",
+        "stall_prob",
+        "flood_interval",
+        "flood_records",
+        "flood_record_bytes",
+        "fabricate_records",
+        "desequence_interval",
+    )
+
+    def __init__(
+        self,
+        plan: "FaultPlan",
+        endpoint_name: str,
+        behavior: str,
+        rng: Random,
+        start: float = 0.0,
+        stall_prob: float = 0.35,
+        flood_interval: float = 0.05,
+        flood_records: int = 32,
+        flood_record_bytes: int = 512,
+        fabricate_records: int = 4,
+        desequence_interval: float = 0.25,
+    ) -> None:
+        if behavior not in BYZANTINE_BEHAVIORS:
+            raise ValueError(f"unknown byzantine behavior {behavior!r}")
+        self.plan = plan
+        self.endpoint_name = endpoint_name
+        self.behavior = behavior
+        self.rng = rng
+        self.start = start
+        self.stall_prob = stall_prob
+        self.flood_interval = flood_interval
+        self.flood_records = flood_records
+        self.flood_record_bytes = flood_record_bytes
+        self.fabricate_records = fabricate_records
+        self.desequence_interval = desequence_interval
+
+    def _activate(self, sim: Simulator) -> None:
+        plan = self.plan
+        key = (self.endpoint_name, self.behavior)
+        count = plan.byzantine_activations.get(key, 0)
+        plan.byzantine_activations[key] = count + 1
+        obs = sim.obs
+        if count == 0:
+            plan.byzantine_events.append(
+                (sim.now, self.endpoint_name, self.behavior)
+            )
+            if obs.enabled:
+                obs.emit("fault", "byzantine", endpoint=self.endpoint_name,
+                         behavior=self.behavior)
+        if obs.enabled:
+            obs.counter("fault.byzantine", endpoint=self.endpoint_name,
+                        behavior=self.behavior).inc()
+
+    # -- session hooks (called from repro.endpoint.endpoint.Session) ----------
+
+    def on_session_start(self, session) -> None:
+        """Arm active behaviors (flood/desequence) on a fresh session."""
+        sim = session.endpoint.node.sim
+        if self.behavior == "flood":
+            sim.spawn(self._flood_loop(session, sim),
+                      name=f"byz-flood-{session.name}")
+        elif self.behavior == "desequence":
+            sim.spawn(self._desequence_loop(session, sim),
+                      name=f"byz-deseq-{session.name}")
+
+    def intercept_command(self, session, message) -> bool:
+        """True to swallow ``message`` before dispatch (stall only)."""
+        if self.behavior != "stall":
+            return False
+        if getattr(message, "reqid", None) is None:
+            return False
+        sim = session.endpoint.node.sim
+        if sim.now < self.start:
+            return False
+        if self.rng.random() >= self.stall_prob:
+            return False
+        self._activate(sim)
+        return True
+
+    def outgoing(self, session, message):
+        """Transform an outbound frame (fabricate/tamper only)."""
+        if self.behavior not in ("fabricate", "tamper"):
+            return message
+        if not isinstance(message, PollData) or message.reqid == 0:
+            return message
+        sim = session.endpoint.node.sim
+        if sim.now < self.start:
+            return message
+        rng = self.rng
+        if self.behavior == "fabricate":
+            if not message.records:
+                return message
+            # Suppress at least one real record (claiming the packet was
+            # never captured) and pad with invented ones. The response
+            # stays well-formed and the session stays polite — only a
+            # replica run on an honest endpoint exposes the lie.
+            kept = [r for r in message.records if rng.random() >= 0.5]
+            if len(kept) == len(message.records) and len(kept) > 1:
+                kept = kept[1:]
+            junk = tuple(
+                CaptureRecord(
+                    sktid=rng.randrange(8),
+                    timestamp=rng.getrandbits(48),
+                    data=rng.randbytes(24),
+                )
+                for _ in range(self.fabricate_records)
+            )
+            self._activate(sim)
+            return replace(message, records=tuple(kept) + junk)
+        if not message.records:
+            return message
+        tampered = tuple(
+            replace(record, data=bytes(b ^ 0xFF for b in record.data))
+            for record in message.records
+        )
+        self._activate(sim)
+        return replace(message, records=tampered)
+
+    # -- active loops ---------------------------------------------------------
+
+    def _flood_loop(self, session, sim: Simulator) -> Generator:
+        if sim.now < self.start:
+            yield self.start - sim.now
+        rng = self.rng
+        while not session.ended:
+            records = tuple(
+                CaptureRecord(
+                    sktid=rng.randrange(8),
+                    timestamp=rng.getrandbits(48),
+                    data=rng.randbytes(self.flood_record_bytes),
+                )
+                for _ in range(self.flood_records)
+            )
+            session.send_message(PollData(reqid=0, records=records))
+            self._activate(sim)
+            yield self.flood_interval * (0.5 + rng.random())
+
+    def _desequence_loop(self, session, sim: Simulator) -> Generator:
+        if sim.now < self.start:
+            yield self.start - sim.now
+        rng = self.rng
+        while not session.ended:
+            if rng.random() < 0.5:
+                message: object = Result(
+                    reqid=0xDEAD0000 + rng.randrange(1 << 16), status=0
+                )
+            else:
+                message = Resumed()
+            session.send_message(message)
+            self._activate(sim)
+            yield self.desequence_interval * (0.5 + rng.random())
 
 
 class DirectionFaults:
@@ -84,6 +277,12 @@ class FaultPlan:
         self.faults_injected = 0
         # (time, endpoint, downtime-or-None) tuples from endpoint_churn().
         self.churn_events: list = []
+        # Byzantine bookkeeping from byzantine(): endpoint-name ->
+        # behavior assignments, first-activation (time, endpoint,
+        # behavior) tuples, and (endpoint, behavior) -> count tallies.
+        self.byzantine_assignments: dict[str, str] = {}
+        self.byzantine_events: list = []
+        self.byzantine_activations: dict[tuple[str, str], int] = {}
 
     # -- plumbing -------------------------------------------------------------
 
@@ -340,6 +539,60 @@ class FaultPlan:
             # crash()/restart() idempotence guards: a crash while down is
             # a no-op, as is a restart while up.
             self.endpoint_crash(victim, at=at, downtime=down)
+        return self
+
+    def byzantine(
+        self,
+        endpoints: list["Endpoint"],
+        fraction: float = 0.05,
+        count: Optional[int] = None,
+        behaviors: tuple = BYZANTINE_BEHAVIORS,
+        start: float = 0.0,
+        **tuning,
+    ) -> "FaultPlan":
+        """Seed a fraction of the fleet with Byzantine adversaries.
+
+        Picks ``count`` victims (or ``fraction`` of the fleet, at least
+        one) with the plan RNG and assigns :data:`BYZANTINE_BEHAVIORS`
+        round-robin, so a mixed fleet exercises every containment path.
+        Each victim gets its own ``Random`` derived from the plan seed
+        and the endpoint name — adversary schedules are independent of
+        each other and of every other fault the plan injects.
+
+        Assignments land in :attr:`byzantine_assignments`; the first
+        activation of each (endpoint, behavior) pair is recorded in
+        :attr:`byzantine_events` and per-pair counts in
+        :attr:`byzantine_activations`. ``tuning`` is forwarded to
+        :class:`ByzantineAdversary` (``stall_prob``, ``flood_interval``,
+        ``fabricate_records``, ...).
+        """
+        if not endpoints:
+            raise ValueError("byzantine needs at least one endpoint")
+        if not behaviors:
+            raise ValueError("byzantine needs at least one behavior")
+        for behavior in behaviors:
+            if behavior not in BYZANTINE_BEHAVIORS:
+                raise ValueError(f"unknown byzantine behavior {behavior!r}")
+        if count is None:
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(f"fraction out of range: {fraction}")
+            count = max(1, round(len(endpoints) * fraction))
+        count = min(count, len(endpoints))
+        victims = sorted(self.rng.sample(range(len(endpoints)), count))
+        for slot, index in enumerate(victims):
+            endpoint = endpoints[index]
+            name = endpoint.config.name
+            if endpoint.adversary is not None:
+                raise RuntimeError(f"endpoint {name} is already byzantine")
+            endpoint.adversary = ByzantineAdversary(
+                plan=self,
+                endpoint_name=name,
+                behavior=behaviors[slot % len(behaviors)],
+                rng=Random((self.seed << 8) ^ crc32(name.encode())),
+                start=start,
+                **tuning,
+            )
+            self.byzantine_assignments[name] = endpoint.adversary.behavior
         return self
 
     def rendezvous_restart(self, server: "RendezvousServer", at: float,

@@ -21,6 +21,17 @@ class FramingError(Exception):
     """Raised when the byte stream cannot be parsed into messages."""
 
 
+class UndecodableFrame(FramingError):
+    """A well-framed message body failed to decode.
+
+    Unlike a broken length prefix or a mid-frame EOF, the stream itself
+    is still in sync: the next frame boundary is intact, so a receiver
+    may count the offence against a per-session decode budget and keep
+    reading rather than tearing the connection down.  Callers that do
+    not care still catch :class:`FramingError` and treat it as fatal.
+    """
+
+
 class MessageStream:
     """Framed message I/O over one TCP connection."""
 
@@ -59,7 +70,7 @@ class MessageStream:
         try:
             message = decode_message(body)
         except DecodeError as exc:
-            raise FramingError(f"undecodable message: {exc}") from exc
+            raise UndecodableFrame(f"undecodable message: {exc}") from exc
         self.messages_received += 1
         return message
 
