@@ -1,0 +1,255 @@
+"""W1 — results warehouse: durable campaign output, queryable at scale.
+
+Two phases, mirroring the warehouse's two producers:
+
+- **Campaign phase** — run a 200-endpoint fleet ping campaign twice
+  with the same seed, persisting each run through
+  ``run_campaign(warehouse=...)``, and assert the committed segments
+  are *byte-identical* (the determinism contract extended to disk).
+  Percentile queries over the persisted rows must agree with the
+  materialized-rollup fast path.
+
+- **Scale phase** — ingest >= 1,000,000 synthetic sample rows
+  (endpoint-partitioned, so zone maps are tight), then answer a
+  selective filter + group-by + p99 query. Gates: the query completes
+  in < 5 s and zone maps prune >= 50% of segments before any column
+  data is read.
+
+Run standalone (writes BENCH_w1.json in full mode):
+
+    python benchmarks/bench_w1_warehouse.py [--smoke]
+"""
+
+import json
+import os
+import random
+import sys
+import time
+
+from conftest import print_table
+
+# The campaign phase is cheap; smoke mode only shrinks the scale phase.
+CAMPAIGN_ENDPOINTS = 200
+FULL_ROWS = 1_000_000
+SMOKE_ROWS = 50_000
+SEGMENT_ROWS = 65_536
+SCALE_ENDPOINT_COUNT = 64
+QUERY_BUDGET_S = 5.0
+MIN_PRUNED_FRACTION = 0.50
+
+
+def _run_persisted_campaign(root: str, endpoint_count: int, seed: int):
+    from repro.experiments.campaign import ping_job
+    from repro.fleet import FleetTestbed
+
+    fleet = FleetTestbed(
+        endpoint_count=endpoint_count, shards=2, operator_count=4, seed=seed,
+    )
+    jobs = [ping_job(f"ping-{index}", count=2)
+            for index in range(endpoint_count)]
+    started = time.perf_counter()
+    report = fleet.run_campaign(
+        jobs, campaign_name="w1-campaign", max_concurrency=32,
+        warehouse=root,
+    )
+    return report, time.perf_counter() - started
+
+
+def _campaign_phase(base_dir: str, endpoint_count: int) -> dict:
+    from repro.warehouse import (
+        Query,
+        Warehouse,
+        rollup_percentiles,
+        segment_fingerprints,
+    )
+
+    root_a = os.path.join(base_dir, "campaign-a")
+    root_b = os.path.join(base_dir, "campaign-b")
+    report, wall_s = _run_persisted_campaign(root_a, endpoint_count, seed=1)
+    _run_persisted_campaign(root_b, endpoint_count, seed=1)
+    assert report.jobs_completed == endpoint_count
+    wh_a, wh_b = Warehouse(root_a), Warehouse(root_b)
+    prints_a = segment_fingerprints(wh_a, "w1-campaign")
+    prints_b = segment_fingerprints(wh_b, "w1-campaign")
+    byte_identical = prints_a == prints_b
+    assert byte_identical, "same-seed campaigns persisted different bytes"
+
+    # Percentiles two ways: full scan vs materialized rollups.
+    scan = (Query(wh_a, "samples")
+            .where("stream", "==", "rtt_s")
+            .group_by("stream")
+            .agg(p99=("p99", "value"), n="count")
+            .run())
+    (row,) = scan.rows
+    fast = rollup_percentiles(wh_a, "w1-campaign", "rtt_s")
+    assert row["p99"] == fast["p99"], "scan p99 != rollup p99"
+    assert row["n"] == report.aggregator.total.sketches["rtt_s"].count
+    return {
+        "endpoints": endpoint_count,
+        "jobs_completed": report.jobs_completed,
+        "sample_rows": row["n"],
+        "segments": len(prints_a),
+        "byte_identical": byte_identical,
+        "rtt_p99_s": round(row["p99"], 6),
+        "campaign_wall_s": round(wall_s, 3),
+    }
+
+
+def _synthetic_rows(total_rows: int, seed: int):
+    """Endpoint-partitioned sample rows (tight zone maps per segment).
+
+    Each endpoint's block carries a distinct value band, so both the
+    ``endpoint`` string zone map and the ``value`` float zone map make
+    a selective predicate prunable.
+    """
+    rng = random.Random(seed)
+    per_endpoint = total_rows // SCALE_ENDPOINT_COUNT
+    seq = 0
+    for ep in range(SCALE_ENDPOINT_COUNT):
+        endpoint = f"ep{ep:03d}"
+        base = 0.010 + ep * 0.005
+        for k in range(per_endpoint):
+            yield {
+                "campaign": "w1-scale", "job": f"job-{ep}-{k % 97}",
+                "endpoint": endpoint, "stream": "rtt_s",
+                "seq": seq, "value": base + rng.random() * 0.004,
+            }
+            seq += 1
+
+
+def _scale_phase(base_dir: str, total_rows: int) -> dict:
+    from repro.warehouse import Query, Warehouse
+
+    warehouse = Warehouse(os.path.join(base_dir, "scale"))
+    # Smoke-size runs shrink the segments so there is still a
+    # multi-segment layout for zone maps to prune.
+    segment_rows = min(SEGMENT_ROWS, max(1, total_rows // 16))
+    started = time.perf_counter()
+    writer = warehouse.begin_campaign("w1-scale", segment_rows=segment_rows)
+    writer.add_rows("samples", _synthetic_rows(total_rows, seed=7))
+    manifest = writer.commit(close=True)
+    ingest_s = time.perf_counter() - started
+    rows = manifest.total_rows("samples")
+    segments = len(manifest.tables["samples"])
+
+    # Selective predicate: the top quarter of the endpoint range.
+    floor_ep = f"ep{SCALE_ENDPOINT_COUNT * 3 // 4:03d}"
+    started = time.perf_counter()
+    result = (Query(warehouse, "samples")
+              .where("endpoint", ">=", floor_ep)
+              .group_by("endpoint")
+              .agg(n="count", p99=("p99", "value"))
+              .run())
+    query_s = time.perf_counter() - started
+    stats = result.stats
+
+    assert rows >= total_rows - SCALE_ENDPOINT_COUNT  # integer division
+    assert query_s < QUERY_BUDGET_S, (
+        f"selective query took {query_s:.2f}s (budget {QUERY_BUDGET_S}s)"
+    )
+    assert stats.pruned_fraction >= MIN_PRUNED_FRACTION, (
+        f"zone maps pruned only {stats.pruned_fraction:.0%} of segments "
+        f"(need >= {MIN_PRUNED_FRACTION:.0%})"
+    )
+    expected_groups = SCALE_ENDPOINT_COUNT - SCALE_ENDPOINT_COUNT * 3 // 4
+    assert len(result.rows) == expected_groups
+    assert sum(row["n"] for row in result.rows) == stats.rows_matched
+    # Value bands rise with the endpoint index: p99s must be ordered.
+    p99s = [row["p99"] for row in result.rows]
+    assert p99s == sorted(p99s)
+    return {
+        "rows": rows,
+        "segments": segments,
+        "ingest_s": round(ingest_s, 3),
+        "ingest_rows_per_s": round(rows / ingest_s, 1),
+        "query_s": round(query_s, 4),
+        "query_budget_s": QUERY_BUDGET_S,
+        "segments_pruned": stats.segments_pruned,
+        "segments_scanned": stats.segments_scanned,
+        "pruned_fraction": round(stats.pruned_fraction, 4),
+        "rows_matched": stats.rows_matched,
+        "groups": len(result.rows),
+    }
+
+
+def _run(base_dir: str, endpoint_count: int, total_rows: int) -> dict:
+    campaign = _campaign_phase(base_dir, endpoint_count)
+    scale = _scale_phase(base_dir, total_rows)
+    return {
+        "bench": "w1_warehouse",
+        "campaign": campaign,
+        "scale": scale,
+        "summary": {
+            "byte_identical_segments": campaign["byte_identical"],
+            "rows_ingested": scale["rows"],
+            "selective_query_s": scale["query_s"],
+            "pruned_fraction": scale["pruned_fraction"],
+            "min_pruned_fraction": MIN_PRUNED_FRACTION,
+            "query_budget_s": QUERY_BUDGET_S,
+        },
+    }
+
+
+def _report(title: str, results: dict) -> None:
+    campaign, scale = results["campaign"], results["scale"]
+    print_table(
+        title,
+        ["phase", "rows", "segments", "wall s", "detail"],
+        [
+            ["campaign", campaign["sample_rows"], campaign["segments"],
+             campaign["campaign_wall_s"],
+             f"byte_identical={campaign['byte_identical']}"],
+            ["ingest", scale["rows"], scale["segments"],
+             scale["ingest_s"],
+             f"{scale['ingest_rows_per_s']:.0f} rows/s"],
+            ["query", scale["rows_matched"], scale["segments_scanned"],
+             scale["query_s"],
+             f"pruned {scale['pruned_fraction']:.0%} "
+             f"of {scale['segments']} segs"],
+        ],
+    )
+    print(f"selective filter+group-by+p99 over {scale['rows']:,} rows: "
+          f"{scale['query_s'] * 1e3:.0f} ms "
+          f"(< {QUERY_BUDGET_S:.0f} s required), "
+          f"{scale['pruned_fraction']:.0%} segments pruned "
+          f"(>= {MIN_PRUNED_FRACTION:.0%} required)")
+
+
+def test_w1_warehouse(benchmark, tmp_path):
+    """Smoke-size warehouse bench under pytest (full run is standalone)."""
+    results = benchmark.pedantic(
+        _run, args=(str(tmp_path), CAMPAIGN_ENDPOINTS, SMOKE_ROWS),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(results["summary"])
+    _report("W1 (smoke): results warehouse", results)
+
+
+def main(argv: list[str]) -> int:
+    import tempfile
+
+    smoke = "--smoke" in argv
+    total_rows = SMOKE_ROWS if smoke else FULL_ROWS
+    with tempfile.TemporaryDirectory(prefix="bench-w1-") as base_dir:
+        results = _run(base_dir, CAMPAIGN_ENDPOINTS, total_rows)
+    _report(
+        f"W1{' (smoke)' if smoke else ''}: results warehouse "
+        f"({total_rows:,} rows)",
+        results,
+    )
+    if not smoke:
+        out = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "..", "BENCH_w1.json")
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {os.path.abspath(out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "..", "src")
+    )
+    sys.exit(main(sys.argv[1:]))

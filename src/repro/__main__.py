@@ -16,6 +16,9 @@ Subcommands:
 - ``python -m repro analysis [paths ...]`` — run the simlint
   determinism & sim-safety static analyzer and print its report
   (exit 1 on any unsuppressed, non-baselined finding).
+- ``python -m repro warehouse {ls,ingest,query,rollup,compact} ...`` —
+  operate the durable results warehouse (persisted campaign output:
+  columnar segments, materialized rollups, zone-map-pruned queries).
 """
 
 from __future__ import annotations
@@ -114,6 +117,9 @@ def fleet_main(argv: list[str]) -> int:
     parser.add_argument("--json", action="store_true",
                         help="print the canonical JSON report instead of "
                              "the summary")
+    parser.add_argument("--warehouse", metavar="DIR", default=None,
+                        help="persist the campaign (per-job rows, raw "
+                             "samples, rollups) into this warehouse")
     args = parser.parse_args(argv)
 
     from repro.experiments.campaign import ping_job
@@ -134,6 +140,7 @@ def fleet_main(argv: list[str]) -> int:
         campaign_name="fleet-demo",
         max_concurrency=args.concurrency,
         rate=args.rate,
+        warehouse=args.warehouse,
     )
     if args.json:
         print(report.to_json())
@@ -144,6 +151,9 @@ def fleet_main(argv: list[str]) -> int:
     if args.export:
         lines = report.export_jsonl(args.export)
         print(f"  exported {lines} rollup records to {args.export}")
+    if args.warehouse:
+        print(f"  persisted campaign 'fleet-demo' to {args.warehouse} "
+              f"(try: python -m repro warehouse --root {args.warehouse} ls)")
     return 0
 
 
@@ -204,4 +214,8 @@ if __name__ == "__main__":
         from repro.analysis.cli import main as analysis_main
 
         sys.exit(analysis_main(sys.argv[2:]))
+    if len(sys.argv) > 1 and sys.argv[1] == "warehouse":
+        from repro.warehouse.cli import main as warehouse_main
+
+        sys.exit(warehouse_main(sys.argv[2:]))
     sys.exit(main())

@@ -40,6 +40,8 @@ OFFLINE_MODULE_PREFIXES: dict[str, str] = {
     "repro.obs.sinks": "sink flush/export writes host files post-run",
     "repro.compat": "socket compatibility shim wraps *real* host sockets",
     "repro.baselines": "native-socket baselines measure the host on purpose",
+    "repro.warehouse": "results warehouse persists campaign output to host "
+                       "files (real I/O, wall-clock metadata) post-run",
     "repro.__main__": "CLI entry point",
 }
 

@@ -27,6 +27,13 @@ from typing import Iterable, Optional
 GROWTH = 1.1
 _LOG_GROWTH = math.log(GROWTH)
 
+# Version stamp for the JSONL export layout (jsonl_lines/export_jsonl).
+# v2 added the stamp itself plus the full mergeable ``state`` of every
+# rollup, making the export lossless: an ingester can reconstruct the
+# aggregator (sketches included) and keep merging, which is what the
+# results warehouse does.
+AGGREGATE_SCHEMA_VERSION = 2
+
 
 class QuantileSketch:
     """Log-bucketed streaming quantile sketch (mergeable, deterministic).
@@ -93,6 +100,30 @@ class QuantileSketch:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def state_dict(self) -> dict:
+        """Full mergeable state (lossless, unlike the display dict)."""
+        return {
+            "buckets": [[index, self.buckets[index]]
+                        for index in sorted(self.buckets)],
+            "underflow": self.underflow,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileSketch":
+        sketch = cls()
+        sketch.buckets = {int(index): int(count)
+                          for index, count in state.get("buckets", [])}
+        sketch.underflow = int(state.get("underflow", 0))
+        sketch.count = int(state.get("count", 0))
+        sketch.sum = float(state.get("sum", 0.0))
+        sketch.min = state.get("min")
+        sketch.max = state.get("max")
+        return sketch
+
     def to_dict(self) -> dict:
         return {
             "count": self.count,
@@ -127,6 +158,12 @@ class CounterSet:
     def to_dict(self) -> dict:
         return {name: self.values[name] for name in sorted(self.values)}
 
+    @classmethod
+    def from_state(cls, state: dict) -> "CounterSet":
+        counters = cls()
+        counters.values = dict(state)
+        return counters
+
 
 class Rollup:
     """One aggregation scope: counters + a sketch per value stream."""
@@ -158,6 +195,13 @@ class Rollup:
         for name, values in (metrics.get("values") or {}).items():
             self.sketch(name).extend(values)
 
+    def merge(self, other: "Rollup") -> None:
+        self.jobs += other.jobs
+        self.failures += other.failures
+        self.counters.merge(other.counters)
+        for name in other.sketches:
+            self.sketch(name).merge(other.sketches[name])
+
     def to_dict(self) -> dict:
         return {
             "jobs": self.jobs,
@@ -168,6 +212,28 @@ class Rollup:
                 for name in sorted(self.sketches)
             },
         }
+
+    def state_dict(self) -> dict:
+        """Lossless mergeable state (counters + raw sketch buckets)."""
+        return {
+            "jobs": self.jobs,
+            "failures": self.failures,
+            "counters": self.counters.to_dict(),
+            "sketches": {
+                name: self.sketches[name].state_dict()
+                for name in sorted(self.sketches)
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Rollup":
+        rollup = cls()
+        rollup.jobs = int(state.get("jobs", 0))
+        rollup.failures = int(state.get("failures", 0))
+        rollup.counters = CounterSet.from_state(state.get("counters") or {})
+        for name, sketch_state in (state.get("sketches") or {}).items():
+            rollup.sketches[name] = QuantileSketch.from_state(sketch_state)
+        return rollup
 
 
 def counters_fingerprint(metrics: Optional[dict]) -> str:
@@ -219,7 +285,14 @@ class ResultAggregator:
         return rollup
 
     def observe(self, endpoint_name: str, metrics: Optional[dict],
-                failed: bool = False) -> None:
+                failed: bool = False, job: Optional[str] = None,
+                error: Optional[str] = None) -> None:
+        """Fold one finished job into the rollups.
+
+        ``job``/``error`` identify the completion for subclasses that
+        record per-job rows (the warehouse tee); the streaming rollups
+        themselves ignore them.
+        """
         self.jobs_observed += 1
         for rollup in (self.total, self.endpoint(endpoint_name)):
             rollup.jobs += 1
@@ -247,20 +320,56 @@ class ResultAggregator:
                           separators=(",", ":"))
 
     def jsonl_lines(self) -> list[str]:
+        """One campaign line + one line per endpoint, schema-versioned.
+
+        Key order is stable (``sort_keys``) and every line carries both
+        the human-readable display dict and the lossless mergeable
+        ``state``, so export → ingest → re-aggregate is an identity
+        (see :meth:`from_jsonl_lines`).
+        """
         lines = [json.dumps(
-            {"record": "campaign", "campaign": self.campaign,
+            {"record": "campaign", "schema_version": AGGREGATE_SCHEMA_VERSION,
+             "campaign": self.campaign,
              "jobs_observed": self.jobs_observed,
-             "aggregate": self.total.to_dict()},
+             "aggregate": self.total.to_dict(),
+             "state": self.total.state_dict()},
             sort_keys=True, separators=(",", ":"),
         )]
         for name in sorted(self.per_endpoint):
             lines.append(json.dumps(
-                {"record": "endpoint", "campaign": self.campaign,
-                 "endpoint": name,
+                {"record": "endpoint",
+                 "schema_version": AGGREGATE_SCHEMA_VERSION,
+                 "campaign": self.campaign, "endpoint": name,
+                 "state": self.per_endpoint[name].state_dict(),
                  **self.per_endpoint[name].to_dict()},
                 sort_keys=True, separators=(",", ":"),
             ))
         return lines
+
+    @classmethod
+    def from_jsonl_lines(cls, lines: Iterable[str]) -> "ResultAggregator":
+        """Reconstruct an aggregator from its own JSONL export."""
+        aggregator = cls()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            version = record.get("schema_version")
+            if version != AGGREGATE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"aggregate JSONL schema_version {version!r} "
+                    f"(this reader speaks {AGGREGATE_SCHEMA_VERSION})"
+                )
+            kind = record.get("record")
+            if kind == "campaign":
+                aggregator.campaign = record["campaign"]
+                aggregator.jobs_observed = int(record["jobs_observed"])
+                aggregator.total = Rollup.from_state(record["state"])
+            elif kind == "endpoint":
+                aggregator.per_endpoint[record["endpoint"]] = \
+                    Rollup.from_state(record["state"])
+        return aggregator
 
     def export_jsonl(self, path: str) -> int:
         lines = self.jsonl_lines()

@@ -714,7 +714,8 @@ class CampaignScheduler:
                 self._adjudicate(group)
         else:
             self.aggregator.observe(endpoint_name or "(none)", metrics,
-                                    failed=failed)
+                                    failed=failed, job=job.name,
+                                    error=job.error)
         if failed:
             self.report.jobs_failed += 1
             if self._obs.enabled:
@@ -755,7 +756,9 @@ class CampaignScheduler:
                 # The job completed, but its numbers disagree with the
                 # quorum: keep them out of the rollups and score the
                 # endpoint that produced them.
-                self.aggregator.observe(endpoint_name, None, failed=False)
+                self.aggregator.observe(endpoint_name, None, failed=False,
+                                        job=group.name,
+                                        error="cross-validation outlier")
                 counters.add("cross_validation_outliers", 1)
                 self.aggregator.endpoint(endpoint_name).counters.add(
                     "cross_validation_outliers", 1
@@ -769,7 +772,8 @@ class CampaignScheduler:
                     self._obs.emit("fleet", "cross-validation-outlier",
                                    job=group.name, endpoint=endpoint_name)
             else:
-                self.aggregator.observe(endpoint_name, metrics, failed=failed)
+                self.aggregator.observe(endpoint_name, metrics, failed=failed,
+                                        job=group.name)
 
     def _note_queue_depth(self) -> None:
         if self._obs.enabled:

@@ -211,6 +211,9 @@ class FleetTestbed:
         session_budget: Optional[SessionBudget] = None,
         misbehavior: Optional[MisbehaviorPolicy] = None,
         cross_validate: Optional[CrossValidation] = None,
+        warehouse: Optional[object] = None,
+        warehouse_events: bool = False,
+        warehouse_segment_rows: Optional[int] = None,
     ) -> CampaignReport:
         """Publish, subscribe, populate, schedule, tear down — one call.
 
@@ -228,7 +231,31 @@ class FleetTestbed:
         turns endpoint-level scoring/quarantine/departure on, and
         ``cross_validate`` re-runs a seeded sample of jobs redundantly
         to catch fabricated results.
+
+        Persistence is opt-in too: pass ``warehouse`` (a
+        :class:`~repro.warehouse.segments.Warehouse` or a directory
+        path) and every job completion is teed — per-job ``results``
+        rows, raw ``samples`` values, the campaign summary, and
+        materialized rollups — into an immutable columnar campaign,
+        committed atomically after the run. ``warehouse_events=True``
+        additionally captures the obs event stream (enabling telemetry
+        if needed) into the ``events`` table. All persisted bytes are a
+        pure function of the seed: same-seed campaigns produce
+        byte-identical segments.
         """
+        store = None
+        aggregator = ResultAggregator(campaign=campaign_name)
+        if warehouse is not None:
+            from repro.warehouse import RecordingAggregator, Warehouse
+
+            store = (warehouse if isinstance(warehouse, Warehouse)
+                     else Warehouse(str(warehouse)))
+            aggregator = RecordingAggregator(
+                campaign=campaign_name, time_fn=lambda: self.sim.now
+            )
+        event_ring = None
+        if store is not None and warehouse_events:
+            event_ring = self.enable_telemetry()
         self.rendezvous.start()
         server, descriptor = self.make_controller(
             campaign_name,
@@ -279,7 +306,7 @@ class FleetTestbed:
             retry_policy=retry_policy,
             seed=self.seed,
             context=context,
-            aggregator=ResultAggregator(campaign=campaign_name),
+            aggregator=aggregator,
             cross_validate=cross_validate,
         )
         want = populate_count if populate_count is not None \
@@ -314,6 +341,18 @@ class FleetTestbed:
             pool.shutdown()
             server.stop()
             self.rendezvous.stop()
+        if store is not None:
+            from repro.warehouse import persist_campaign
+
+            persist_kwargs = {}
+            if warehouse_segment_rows is not None:
+                persist_kwargs["segment_rows"] = warehouse_segment_rows
+            persist_campaign(
+                store, report,
+                events=(event_ring.events() if event_ring is not None
+                        else None),
+                **persist_kwargs,
+            )
         return report
 
     def run(self, until: Optional[float] = None) -> None:

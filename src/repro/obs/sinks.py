@@ -14,6 +14,7 @@ Two sinks cover the repo's needs:
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
 from typing import Any, Callable, Iterable, Optional, TextIO, Union
 
@@ -84,15 +85,25 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Streams events to a JSONL file (or any writable text handle)."""
+    """Streams events to a JSONL file (or any writable text handle).
 
-    def __init__(self, target: Union[str, TextIO]) -> None:
+    Opening with ``mode="a"`` appends to an existing export, so a sink
+    can be closed and re-opened across campaign phases without losing
+    the earlier lines. ``close()`` flushes *and fsyncs* an owned file
+    before closing it — a downstream ingester (the results warehouse)
+    reading the file right after close must never see a truncated tail.
+    """
+
+    def __init__(self, target: Union[str, TextIO], mode: str = "w") -> None:
+        if mode not in ("w", "a"):
+            raise ValueError(f"JsonlSink mode must be 'w' or 'a', not {mode!r}")
         if isinstance(target, str):
-            self._file: TextIO = open(target, "w", encoding="utf-8")
+            self._file: TextIO = open(target, mode, encoding="utf-8")
             self._owns_file = True
         else:
             self._file = target
             self._owns_file = False
+        self.closed = False
         self.lines_written = 0
 
     def record(self, event: ObsEvent) -> None:
@@ -106,10 +117,16 @@ class JsonlSink:
         self._file.flush()
 
     def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._file.flush()
         if self._owns_file:
+            try:
+                os.fsync(self._file.fileno())
+            except (OSError, ValueError):
+                pass  # not a real file (StringIO) or fs refuses fsync
             self._file.close()
-        else:
-            self._file.flush()
 
 
 def write_jsonl(path: str, lines: Iterable[dict]) -> int:
@@ -122,12 +139,26 @@ def write_jsonl(path: str, lines: Iterable[dict]) -> int:
     return count
 
 
-def read_jsonl(path: str) -> list[dict]:
-    """Load a JSONL file back into a list of dicts (round-trip check)."""
+def read_jsonl(path: str, strict: bool = True) -> list[dict]:
+    """Load a JSONL file back into a list of dicts (round-trip check).
+
+    With ``strict=False`` a malformed *final* line — the signature of a
+    writer killed mid-append — is silently dropped instead of failing
+    the whole load; malformed interior lines still raise, since those
+    mean corruption rather than truncation.
+    """
     records = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except ValueError:
+            if not strict and index == len(lines) - 1 \
+                    and not line.endswith("\n"):
+                break
+            raise
     return records

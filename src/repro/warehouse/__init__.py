@@ -1,0 +1,80 @@
+"""Durable results warehouse: campaign output as queryable artifacts.
+
+Campaign results used to die with the process — in-memory mergeable
+rollups plus a one-shot JSONL export. This package turns them into
+durable, addressable data:
+
+- :mod:`repro.warehouse.schema` — the versioned record layout (four
+  tables: ``campaigns``, ``results``, ``samples``, ``events``);
+- :mod:`repro.warehouse.segments` — append-only immutable columnar
+  segments with per-column zone maps, committed atomically through a
+  per-campaign manifest; retention + compaction for closed campaigns;
+- :mod:`repro.warehouse.ingest` — schema'd ingestion from live
+  campaigns (:class:`~repro.warehouse.ingest.RecordingAggregator`
+  tee), obs event JSONL sinks, and aggregate exports;
+- :mod:`repro.warehouse.rollup` — materialized per-campaign and
+  per-endpoint summaries reusing the fleet's mergeable counter/sketch
+  machinery, rebuildable from segments;
+- :mod:`repro.warehouse.query` — filter/project/group-by/percentile
+  over millions of rows with zone-map segment pruning;
+- :mod:`repro.warehouse.cli` — the ``python -m repro warehouse``
+  console (``ls``/``ingest``/``query``/``rollup``/``compact``).
+
+The warehouse is *offline tooling*: it does real file I/O and may
+stamp host metadata, but everything persisted from a campaign is a
+pure function of the campaign's seed — same seed, byte-identical
+segments.
+"""
+
+from repro.warehouse.ingest import (
+    RecordingAggregator,
+    ingest_aggregate_jsonl,
+    ingest_events,
+    ingest_events_jsonl,
+    ingest_report_json,
+    persist_campaign,
+)
+from repro.warehouse.query import Query, QueryResult, QueryStats, rollup_percentiles
+from repro.warehouse.rollup import build_rollups, load_rollups
+from repro.warehouse.schema import SCHEMA_VERSION, TABLES, SchemaError, TableSchema
+from repro.warehouse.segments import (
+    CampaignWriter,
+    Manifest,
+    SegmentMeta,
+    SegmentWriter,
+    Warehouse,
+    WarehouseError,
+    encode_segment,
+    read_header,
+    read_segment,
+    segment_fingerprints,
+)
+
+__all__ = [
+    "CampaignWriter",
+    "Manifest",
+    "Query",
+    "QueryResult",
+    "QueryStats",
+    "RecordingAggregator",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "SegmentMeta",
+    "SegmentWriter",
+    "TABLES",
+    "TableSchema",
+    "Warehouse",
+    "WarehouseError",
+    "build_rollups",
+    "encode_segment",
+    "ingest_aggregate_jsonl",
+    "ingest_events",
+    "ingest_events_jsonl",
+    "ingest_report_json",
+    "load_rollups",
+    "persist_campaign",
+    "read_header",
+    "read_segment",
+    "rollup_percentiles",
+    "segment_fingerprints",
+]

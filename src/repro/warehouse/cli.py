@@ -1,0 +1,261 @@
+"""``python -m repro warehouse`` — the warehouse's operator console.
+
+Subcommands::
+
+    ls       list campaigns, tables, segment/row counts, states
+    ingest   load artifacts: --events JSONL, --aggregate JSONL, --report JSON
+    query    filter/group/aggregate over a table (zone-map pruned)
+    rollup   (re)build materialized rollups from committed segments
+    compact  rewrite a closed campaign into full-size segments
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.warehouse.query import OPS, Query, rollup_percentiles
+from repro.warehouse.schema import F64, I64, TABLES, SchemaError
+from repro.warehouse.segments import Warehouse, WarehouseError
+
+
+def _parse_where(clauses: list[str], table: str) -> list[tuple]:
+    """``col<op>value`` strings → (col, op, typed value) triples.
+
+    Accepted forms: ``endpoint==ep1``, ``value>=0.25``, ``seq<100``,
+    ``stream!=rtt_s``. Values are coerced to the column's type.
+    """
+    schema = TABLES[table]
+    out = []
+    for clause in clauses:
+        for op in sorted(OPS, key=len, reverse=True):
+            if op == "in":
+                continue
+            index = clause.find(op)
+            if index > 0:
+                column = clause[:index]
+                raw = clause[index + len(op):]
+                break
+        else:
+            raise SchemaError(
+                f"cannot parse predicate {clause!r} (want col<op>value)"
+            )
+        kind = schema.column_type(column)
+        if kind is None:
+            raise SchemaError(
+                f"table {table!r} has no column {column!r} "
+                f"(have {schema.fixed_names()})"
+            )
+        value = (int(raw) if kind == I64
+                 else float(raw) if kind == F64 else raw)
+        out.append((column, op, value))
+    return out
+
+
+def _parse_aggs(specs: list[str]) -> dict:
+    """Aggregate specs → Query.agg kwargs.
+
+    Forms: ``count``, ``NAME:count``, ``FN:COL`` (output named
+    ``FN_COL``), and ``NAME:FN:COL``.
+    """
+    out: dict = {}
+    for spec in specs:
+        parts = [part for part in spec.split(":") if part]
+        if len(parts) == 1:
+            out[parts[0]] = parts[0]
+        elif len(parts) == 2:
+            if parts[1] == "count":
+                out[parts[0]] = "count"
+            else:
+                out[f"{parts[0]}_{parts[1]}"] = (parts[0], parts[1])
+        else:
+            out[parts[0]] = (parts[1], parts[2])
+    return out
+
+
+def cmd_ls(args) -> int:
+    warehouse = Warehouse(args.root)
+    campaigns = warehouse.campaigns()
+    if not campaigns:
+        print(f"(no campaigns under {args.root})")
+        return 0
+    for name in campaigns:
+        manifest = warehouse.manifest(name)
+        tables = " ".join(
+            f"{table}={sum(seg.rows for seg in segs)}r"
+            f"/{len(segs)}seg"
+            for table, segs in sorted(manifest.tables.items())
+        )
+        rollups = "+rollups" if manifest.rollups else ""
+        print(f"{name} [{manifest.state}]{rollups} {tables}")
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    from repro.warehouse.ingest import (
+        ingest_aggregate_jsonl,
+        ingest_events_jsonl,
+        ingest_report_json,
+    )
+
+    warehouse = Warehouse(args.root)
+    did = 0
+    if args.events:
+        if not args.campaign:
+            print("error: --events needs --campaign", file=sys.stderr)
+            return 2
+        manifest = ingest_events_jsonl(
+            warehouse, args.campaign, args.events, close=args.close
+        )
+        print(f"ingested events into {manifest.campaign!r} "
+              f"({manifest.total_rows('events')} event rows)")
+        did += 1
+    if args.aggregate:
+        manifest = ingest_aggregate_jsonl(
+            warehouse, args.aggregate, campaign=args.campaign or None
+        )
+        print(f"ingested aggregate rollups into {manifest.campaign!r}")
+        did += 1
+    if args.report:
+        manifest = ingest_report_json(warehouse, args.report)
+        print(f"ingested campaign report into {manifest.campaign!r}")
+        did += 1
+    if not did:
+        print("error: nothing to ingest "
+              "(--events/--aggregate/--report)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_query(args) -> int:
+    warehouse = Warehouse(args.root)
+    if args.percentiles:
+        if not args.campaign:
+            print("error: --percentiles needs --campaign", file=sys.stderr)
+            return 2
+        result = rollup_percentiles(
+            warehouse, args.campaign, args.percentiles,
+            endpoint=args.endpoint or None,
+        )
+        print(json.dumps(result, sort_keys=True))
+        return 0
+    query = Query(
+        warehouse, args.table,
+        campaigns=[args.campaign] if args.campaign else None,
+    )
+    for column, op, value in _parse_where(args.where or [], args.table):
+        query.where(column, op, value)
+    if args.group_by:
+        query.group_by(*args.group_by.split(","))
+    if args.agg:
+        query.agg(**_parse_aggs(args.agg))
+    if args.limit is not None:
+        query.limit(args.limit)
+    result = query.run()
+    for row in result.rows:
+        print(json.dumps(row, sort_keys=True))
+    if args.stats:
+        print(json.dumps({"stats": result.stats.to_dict()}, sort_keys=True))
+    return 0
+
+
+def cmd_rollup(args) -> int:
+    from repro.warehouse.rollup import build_rollups, rollup_summary
+
+    warehouse = Warehouse(args.root)
+    names = [args.campaign] if args.campaign else warehouse.campaigns()
+    for name in names:
+        rollups = build_rollups(warehouse, name)
+        summary = rollup_summary(rollups)
+        print(f"{name}: jobs={summary['jobs']} "
+              f"failures={summary['failures']} "
+              f"streams={sorted(rollups['total'].sketches)} "
+              f"endpoints={len(rollups['endpoints'])}")
+    return 0
+
+
+def cmd_compact(args) -> int:
+    warehouse = Warehouse(args.root)
+    names = [args.campaign] if args.campaign else [
+        name for name in warehouse.campaigns()
+        if warehouse.manifest(name).state == "closed"
+    ]
+    for name in names:
+        stats = warehouse.compact(name, segment_rows=args.segment_rows)
+        print(f"{name}: {stats['segments_before']} -> "
+              f"{stats['segments_after']} segments")
+    if args.retain is not None:
+        dropped = warehouse.retain(args.retain)
+        for name in dropped:
+            print(f"dropped {name} (retention keep={args.retain})")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro warehouse",
+        description="Durable results warehouse over campaign output.",
+    )
+    parser.add_argument("--root", default="warehouse",
+                        help="warehouse directory (default ./warehouse)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ls", help="list campaigns and their tables")
+
+    p_ingest = sub.add_parser("ingest", help="load artifacts")
+    p_ingest.add_argument("--campaign", default=None)
+    p_ingest.add_argument("--events", metavar="JSONL",
+                          help="obs JsonlSink export to ingest")
+    p_ingest.add_argument("--aggregate", metavar="JSONL",
+                          help="ResultAggregator export_jsonl file")
+    p_ingest.add_argument("--report", metavar="JSON",
+                          help="campaign report JSON (fleet --json)")
+    p_ingest.add_argument("--close", action="store_true",
+                          help="seal the campaign after ingesting")
+
+    p_query = sub.add_parser("query", help="run a query")
+    p_query.add_argument("--table", default="samples",
+                         choices=sorted(TABLES))
+    p_query.add_argument("--campaign", default=None)
+    p_query.add_argument("--where", action="append", metavar="COL<OP>VAL")
+    p_query.add_argument("--group-by", default=None, metavar="COL[,COL]")
+    p_query.add_argument("--agg", action="append",
+                         metavar="FN:COL | NAME:FN:COL")
+    p_query.add_argument("--limit", type=int, default=None)
+    p_query.add_argument("--stats", action="store_true",
+                         help="print scan/pruning statistics")
+    p_query.add_argument("--percentiles", metavar="STREAM", default=None,
+                         help="fast path: p50/p90/p99 of STREAM from "
+                              "materialized rollups")
+    p_query.add_argument("--endpoint", default=None,
+                         help="with --percentiles: per-endpoint scope")
+
+    p_rollup = sub.add_parser("rollup", help="rebuild materialized rollups")
+    p_rollup.add_argument("--campaign", default=None)
+
+    p_compact = sub.add_parser("compact",
+                               help="compact closed campaigns")
+    p_compact.add_argument("--campaign", default=None)
+    p_compact.add_argument("--segment-rows", type=int, default=65536)
+    p_compact.add_argument("--retain", type=int, default=None,
+                           help="afterwards, keep only the newest N "
+                                "closed campaigns")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "ls": cmd_ls,
+        "ingest": cmd_ingest,
+        "query": cmd_query,
+        "rollup": cmd_rollup,
+        "compact": cmd_compact,
+    }[args.command]
+    try:
+        return handler(args)
+    except (WarehouseError, SchemaError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

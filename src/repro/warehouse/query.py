@@ -1,0 +1,409 @@
+"""Query layer: filter / project / group-by / percentile over segments.
+
+A :class:`Query` plans against manifests only — per segment it reads
+the (small) header, tests every predicate against the column zone maps,
+and *prunes* segments that provably contain no matching row before any
+column data is touched. Surviving segments are decoded column-by-column
+(only the columns the query references) and evaluated with
+dictionary-aware fast paths: a predicate over a string column is
+resolved once per segment into a per-code bitmap, so the row loop
+compares small integers.
+
+Aggregations reuse the fleet's mergeable machinery — percentiles come
+from :class:`~repro.fleet.aggregate.QuantileSketch`, so a group-by p99
+over ten million sample rows costs one sketch per group, not a sort.
+
+Missing cells (NaN for floats, ``""`` for strings — and any column a
+segment never saw) match **no** comparison predicate; this is what
+makes zone-map pruning sound, since zone maps cover present values
+only.
+
+Example::
+
+    result = (Query(warehouse, "samples")
+              .where("stream", "==", "rtt_s")
+              .where("endpoint", ">=", "ep100")
+              .group_by("endpoint")
+              .agg(n="count", p99=("p99", "value"))
+              .run())
+    result.rows        # [{"endpoint": ..., "n": ..., "p99": ...}, ...]
+    result.stats       # segments_total / segments_pruned / rows_scanned
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Union
+
+from repro.fleet.aggregate import QuantileSketch
+from repro.warehouse.schema import STR, TABLES, SchemaError
+from repro.warehouse.segments import (
+    Warehouse,
+    WarehouseError,
+    read_header,
+    read_segment,
+    zone_overlaps,
+)
+
+OPS = ("==", "!=", "<", "<=", ">", ">=", "in")
+
+_PERCENTILE_FNS = {"p50": 0.50, "p90": 0.90, "p95": 0.95, "p99": 0.99,
+                   "p999": 0.999}
+_SIMPLE_FNS = ("count", "sum", "mean", "min", "max")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    column: str
+    op: str
+    value: Any
+
+    def matcher(self, kind: str):
+        """Value-level match function (missing cells handled upstream)."""
+        op, want = self.op, self.value
+        if op == "==":
+            return lambda v: v == want
+        if op == "!=":
+            return lambda v: v != want
+        if op == "<":
+            return lambda v: v < want
+        if op == "<=":
+            return lambda v: v <= want
+        if op == ">":
+            return lambda v: v > want
+        if op == ">=":
+            return lambda v: v >= want
+        if op == "in":
+            members = set(want)
+            return lambda v: v in members
+        raise SchemaError(f"unknown operator {op!r}")
+
+
+@dataclass
+class QueryStats:
+    segments_total: int = 0
+    segments_pruned: int = 0
+    segments_scanned: int = 0
+    rows_scanned: int = 0
+    rows_matched: int = 0
+    campaigns: int = 0
+
+    @property
+    def pruned_fraction(self) -> float:
+        if self.segments_total == 0:
+            return 0.0
+        return self.segments_pruned / self.segments_total
+
+    def to_dict(self) -> dict:
+        return {
+            "segments_total": self.segments_total,
+            "segments_pruned": self.segments_pruned,
+            "segments_scanned": self.segments_scanned,
+            "rows_scanned": self.rows_scanned,
+            "rows_matched": self.rows_matched,
+            "campaigns": self.campaigns,
+            "pruned_fraction": round(self.pruned_fraction, 4),
+        }
+
+
+@dataclass
+class QueryResult:
+    rows: list[dict]
+    stats: QueryStats = field(default_factory=QueryStats)
+
+
+class _GroupAcc:
+    """Mergeable accumulator for one group's aggregates."""
+
+    __slots__ = ("count", "sums", "counts", "mins", "maxs", "sketches")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sums: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self.mins: dict[str, float] = {}
+        self.maxs: dict[str, float] = {}
+        self.sketches: dict[str, QuantileSketch] = {}
+
+    def sketch(self, column: str) -> QuantileSketch:
+        sketch = self.sketches.get(column)
+        if sketch is None:
+            sketch = self.sketches[column] = QuantileSketch()
+        return sketch
+
+
+class Query:
+    """A buildable, immutable-once-run query over one warehouse table."""
+
+    def __init__(self, warehouse: Warehouse, table: str,
+                 campaigns: Optional[Iterable[str]] = None) -> None:
+        if table not in TABLES:
+            raise SchemaError(
+                f"unknown table {table!r} (have {sorted(TABLES)})"
+            )
+        self.warehouse = warehouse
+        self.table = table
+        self._campaigns = list(campaigns) if campaigns is not None else None
+        self._predicates: list[Predicate] = []
+        self._group: list[str] = []
+        self._aggs: list[tuple[str, str, Optional[str]]] = []
+        self._select: Optional[list[str]] = None
+        self._limit: Optional[int] = None
+
+    # -- builder --------------------------------------------------------------
+
+    def where(self, column: str, op: str, value: Any) -> "Query":
+        if op not in OPS:
+            raise SchemaError(f"unknown operator {op!r} (have {OPS})")
+        self._predicates.append(Predicate(column, op, value))
+        return self
+
+    def group_by(self, *columns: str) -> "Query":
+        self._group.extend(columns)
+        return self
+
+    def agg(self, **aggs: Union[str, tuple]) -> "Query":
+        """``name="count"`` or ``name=("fn", "column")`` with fn one of
+        count/sum/mean/min/max/p50/p90/p95/p99/p999."""
+        for name, spec in aggs.items():
+            if isinstance(spec, str):
+                fn, column = spec, None
+            else:
+                fn, column = spec[0], (spec[1] if len(spec) > 1 else None)
+            if fn not in _SIMPLE_FNS and fn not in _PERCENTILE_FNS:
+                raise SchemaError(f"unknown aggregate fn {fn!r}")
+            if fn == "count":
+                column = None  # count never reads a column
+            elif not column:
+                raise SchemaError(f"aggregate {fn!r} needs a column")
+            self._aggs.append((name, fn, column))
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        self._select = list(columns)
+        return self
+
+    def limit(self, n: int) -> "Query":
+        self._limit = max(0, int(n))
+        return self
+
+    # -- execution ------------------------------------------------------------
+
+    def _needed_columns(self) -> list[str]:
+        needed: list[str] = []
+        for pred in self._predicates:
+            needed.append(pred.column)
+        needed.extend(self._group)
+        for _, _, column in self._aggs:
+            if column is not None:
+                needed.append(column)
+        if not self._aggs:
+            needed.extend(self._select
+                          if self._select is not None
+                          else TABLES[self.table].fixed_names())
+        seen: set[str] = set()
+        unique = []
+        for name in needed:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        return unique
+
+    def run(self) -> QueryResult:
+        stats = QueryStats()
+        campaigns = (self._campaigns if self._campaigns is not None
+                     else self.warehouse.campaigns())
+        groups: dict[tuple, _GroupAcc] = {}
+        raw_rows: list[dict] = []
+        needed = self._needed_columns()
+        aggregating = bool(self._aggs) or bool(self._group)
+        for campaign in campaigns:
+            try:
+                manifest = self.warehouse.manifest(campaign)
+            except WarehouseError:
+                continue
+            stats.campaigns += 1
+            for seg in manifest.tables.get(self.table, ()):
+                stats.segments_total += 1
+                path = self.warehouse.segment_path(campaign, seg)
+                header = read_header(path)
+                if not self._segment_may_match(header):
+                    stats.segments_pruned += 1
+                    continue
+                stats.segments_scanned += 1
+                stats.rows_scanned += header.rows
+                self._scan_segment(path, stats, groups, raw_rows,
+                                   needed, aggregating)
+                if (not aggregating and self._limit is not None
+                        and len(raw_rows) >= self._limit):
+                    return QueryResult(raw_rows[:self._limit], stats)
+        if not aggregating:
+            return QueryResult(raw_rows, stats)
+        return QueryResult(self._render_groups(groups), stats)
+
+    def _segment_may_match(self, header) -> bool:
+        for pred in self._predicates:
+            meta = header.column(pred.column)
+            if meta is None:
+                # Column never present in this segment ⇒ all cells
+                # missing ⇒ no comparison can match.
+                return False
+            if not zone_overlaps(meta, pred.op, pred.value):
+                return False
+        return True
+
+    def _scan_segment(self, path: str, stats: QueryStats,
+                      groups: dict, raw_rows: list,
+                      needed: list[str], aggregating: bool) -> None:
+        data = read_segment(path, columns=needed)
+        rows = data.header.rows
+        # Per-predicate fast matchers: string columns become per-code
+        # bitmaps (one vocabulary pass), numeric columns close over the
+        # decoded array.
+        checks = []
+        for pred in self._predicates:
+            meta = data.header.column(pred.column)
+            kind = meta["type"]
+            if kind == STR:
+                vocab = data.dicts[pred.column]
+                codes = data.codes[pred.column]
+                match = pred.matcher(kind)
+                ok = [value != "" and match(value) for value in vocab]
+                checks.append(
+                    lambda i, codes=codes, ok=ok: ok[codes[i]]
+                )
+            else:
+                column = data.columns[pred.column]
+                match = pred.matcher(kind)
+                checks.append(
+                    lambda i, column=column, match=match:
+                    column[i] == column[i] and match(column[i])
+                )
+        matched = [index for index in range(rows)
+                   if all(check(index) for check in checks)]
+        stats.rows_matched += len(matched)
+        if not matched:
+            return
+        if not aggregating:
+            columns = (self._select if self._select is not None
+                       else [meta["name"] for meta in data.header.columns
+                             if meta["name"] in set(needed)])
+            for index in matched:
+                raw_rows.append({
+                    name: self._cell(data, name, index) for name in columns
+                })
+                if (self._limit is not None
+                        and len(raw_rows) >= self._limit):
+                    return
+            return
+        group_getters = [self._getter(data, name) for name in self._group]
+        # Accumulate once per (kind, column), not per agg spec — two
+        # aggs over the same column (say mean + sum) share the state.
+        kinds: dict[str, set[str]] = {
+            "sums": set(), "mins": set(), "maxs": set(), "sketch": set(),
+        }
+        for _, fn, column in self._aggs:
+            if column is None:
+                continue
+            if fn in ("sum", "mean"):
+                kinds["sums"].add(column)
+            elif fn == "min":
+                kinds["mins"].add(column)
+            elif fn == "max":
+                kinds["maxs"].add(column)
+            else:  # percentile
+                kinds["sketch"].add(column)
+        agg_columns = sorted(set().union(*kinds.values()))
+        agg_getters = {column: self._getter(data, column)
+                       for column in agg_columns}
+        for index in matched:
+            key = tuple(getter(index) for getter in group_getters)
+            acc = groups.get(key)
+            if acc is None:
+                acc = groups[key] = _GroupAcc()
+            acc.count += 1
+            for column in agg_columns:
+                value = agg_getters[column](index)
+                if isinstance(value, float) and math.isnan(value):
+                    continue
+                if column in kinds["sums"]:
+                    acc.sums[column] = acc.sums.get(column, 0.0) + value
+                    acc.counts[column] = acc.counts.get(column, 0) + 1
+                if column in kinds["mins"]:
+                    if column not in acc.mins or value < acc.mins[column]:
+                        acc.mins[column] = value
+                if column in kinds["maxs"]:
+                    if column not in acc.maxs or value > acc.maxs[column]:
+                        acc.maxs[column] = value
+                if column in kinds["sketch"]:
+                    acc.sketch(column).observe(value)
+
+    @staticmethod
+    def _getter(data, name: str):
+        if name in data.codes:
+            vocab = data.dicts[name]
+            codes = data.codes[name]
+            return lambda i: vocab[codes[i]]
+        column = data.columns.get(name)
+        if column is None:
+            return lambda i: None
+        return lambda i: column[i]
+
+    @staticmethod
+    def _cell(data, name: str, index: int):
+        if name in data.codes:
+            return data.dicts[name][data.codes[name][index]]
+        column = data.columns.get(name)
+        return column[index] if column is not None else None
+
+    def _render_groups(self, groups: dict) -> list[dict]:
+        out = []
+        for key in sorted(groups, key=lambda k: tuple(str(p) for p in k)):
+            acc = groups[key]
+            row: dict[str, Any] = dict(zip(self._group, key))
+            for name, fn, column in self._aggs:
+                if fn == "count":
+                    row[name] = acc.count
+                elif fn == "sum":
+                    row[name] = acc.sums.get(column, 0.0)
+                elif fn == "mean":
+                    count = acc.counts.get(column, 0)
+                    row[name] = (acc.sums.get(column, 0.0) / count
+                                 if count else 0.0)
+                elif fn == "min":
+                    row[name] = acc.mins.get(column)
+                elif fn == "max":
+                    row[name] = acc.maxs.get(column)
+                else:
+                    sketch = acc.sketches.get(column)
+                    row[name] = (sketch.quantile(_PERCENTILE_FNS[fn])
+                                 if sketch is not None else 0.0)
+            out.append(row)
+        if self._limit is not None:
+            out = out[:self._limit]
+        return out
+
+
+def rollup_percentiles(warehouse: Warehouse, campaign: str, stream: str,
+                       quantiles: Iterable[float] = (0.5, 0.9, 0.99),
+                       endpoint: Optional[str] = None) -> dict:
+    """Percentiles straight from materialized rollups (no segment scan).
+
+    The fast path for "what was this campaign's p99" — constant-time in
+    the number of rows, exact same sketch machinery as a full query.
+    """
+    from repro.warehouse.rollup import load_rollups
+
+    rollups = load_rollups(warehouse, campaign)
+    scope = (rollups["total"] if endpoint is None
+             else rollups["endpoints"].get(endpoint))
+    if scope is None:
+        raise WarehouseError(f"no rollup for endpoint {endpoint!r}")
+    sketch = scope.sketches.get(stream)
+    if sketch is None:
+        raise WarehouseError(
+            f"campaign {campaign!r} has no value stream {stream!r} "
+            f"(have {sorted(scope.sketches)})"
+        )
+    return {f"p{q * 100:g}": sketch.quantile(q) for q in quantiles}

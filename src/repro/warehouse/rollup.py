@@ -1,0 +1,193 @@
+"""Materialized rollups: mergeable summaries over warehouse segments.
+
+The warehouse reuses the fleet's streaming aggregation machinery
+(:class:`~repro.fleet.aggregate.CounterSet` /
+:class:`~repro.fleet.aggregate.QuantileSketch` /
+:class:`~repro.fleet.aggregate.Rollup`) as its rollup layer: for each
+campaign a per-campaign and a per-endpoint summary is materialized to
+``rollups.json`` next to the segments, and — because every piece of
+state is *mergeable* — rollups can be built one segment at a time and
+merged, rebuilt after compaction, or combined across campaigns, always
+landing on the same answer as a single pass over the raw rows.
+
+Two build paths produce identical files:
+
+- ``from_aggregator`` — the campaign just ran; its
+  :class:`~repro.fleet.aggregate.ResultAggregator` already holds the
+  state (cheap, exact).
+- ``build_rollups`` — recompute from committed segments, one partial
+  rollup per segment merged into the totals (the recovery / audit
+  path, and the proof that segment data is sufficient).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.fleet.aggregate import ResultAggregator, Rollup
+from repro.warehouse.schema import COUNTER_PREFIX, canonical_json
+from repro.warehouse.segments import (
+    Warehouse,
+    WarehouseError,
+    _fsync_write,
+    read_segment,
+)
+
+ROLLUPS_FILE = "rollups.json"
+
+
+def rollups_state(campaign: str, total: Rollup,
+                  per_endpoint: dict[str, Rollup],
+                  jobs_observed: int) -> dict:
+    return {
+        "campaign": campaign,
+        "jobs_observed": jobs_observed,
+        "total": total.state_dict(),
+        "endpoints": {
+            name: per_endpoint[name].state_dict()
+            for name in sorted(per_endpoint)
+        },
+    }
+
+
+def write_rollups(warehouse: Warehouse, campaign: str, state: dict) -> str:
+    """Persist a rollups state dict; returns the manifest-relative path."""
+    directory = warehouse.campaign_dir(campaign)
+    os.makedirs(directory, exist_ok=True)
+    payload = (canonical_json(state) + "\n").encode("utf-8")
+    _fsync_write(os.path.join(directory, ROLLUPS_FILE), payload)
+    return ROLLUPS_FILE
+
+
+def rollups_from_aggregator(warehouse: Warehouse, campaign: str,
+                            aggregator: ResultAggregator) -> str:
+    state = rollups_state(
+        campaign, aggregator.total, aggregator.per_endpoint,
+        aggregator.jobs_observed,
+    )
+    return write_rollups(warehouse, campaign, state)
+
+
+def load_rollups(warehouse: Warehouse, campaign: str) -> dict:
+    """{"total": Rollup, "endpoints": {name: Rollup}, "jobs_observed": n}."""
+    manifest = warehouse.manifest(campaign)
+    rel = manifest.rollups or ROLLUPS_FILE
+    path = os.path.join(warehouse.campaign_dir(campaign), rel)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            import json
+
+            state = json.load(fh)
+    except OSError as exc:
+        raise WarehouseError(
+            f"campaign {campaign!r} has no materialized rollups "
+            f"(run `warehouse rollup`): {exc}"
+        ) from exc
+    return {
+        "campaign": state.get("campaign", campaign),
+        "jobs_observed": int(state.get("jobs_observed", 0)),
+        "total": Rollup.from_state(state.get("total") or {}),
+        "endpoints": {
+            name: Rollup.from_state(endpoint_state)
+            for name, endpoint_state in (state.get("endpoints") or {}).items()
+        },
+    }
+
+
+def _segment_partial(path: str, table: str) -> tuple[Rollup, dict[str, Rollup]]:
+    """One segment's contribution: (campaign partial, per-endpoint partials)."""
+    total = Rollup()
+    per_endpoint: dict[str, Rollup] = {}
+
+    def endpoint(name: str) -> Rollup:
+        rollup = per_endpoint.get(name)
+        if rollup is None:
+            rollup = per_endpoint[name] = Rollup()
+        return rollup
+
+    data = read_segment(path)
+    rows = data.rows
+    if table == "results":
+        header = data.header
+        counter_cols = [meta["name"] for meta in header.columns
+                        if meta["name"].startswith(COUNTER_PREFIX)]
+        for index in range(rows):
+            name = data.cell("endpoint", index)
+            ok = data.cell("ok", index)
+            for rollup in (total, endpoint(name)):
+                rollup.jobs += 1
+                if not ok:
+                    rollup.failures += 1
+            for column in counter_cols:
+                value = data.cell(column, index)
+                if value == value:  # skip NaN (counter absent on row)
+                    counter = column[len(COUNTER_PREFIX):]
+                    total.counters.add(counter, value)
+                    endpoint(name).counters.add(counter, value)
+    elif table == "samples":
+        for index in range(rows):
+            name = data.cell("endpoint", index)
+            stream = data.cell("stream", index)
+            value = data.cell("value", index)
+            total.sketch(stream).observe(value)
+            endpoint(name).sketch(stream).observe(value)
+    else:
+        raise WarehouseError(f"no rollup defined over table {table!r}")
+    return total, per_endpoint
+
+
+def build_rollups(warehouse: Warehouse, campaign: str,
+                  write: bool = True) -> dict:
+    """Recompute campaign rollups segment by segment, merging partials.
+
+    Returns the loaded rollup dict; when ``write`` is set the result is
+    also materialized to ``rollups.json`` and referenced from the
+    manifest (commit order: rollups file first, manifest second).
+    """
+    manifest = warehouse.manifest(campaign)
+    total = Rollup()
+    per_endpoint: dict[str, Rollup] = {}
+    jobs_observed = 0
+    for table in ("results", "samples"):
+        for seg in manifest.tables.get(table, ()):
+            partial_total, partial_endpoints = _segment_partial(
+                warehouse.segment_path(campaign, seg), table
+            )
+            if table == "results":
+                jobs_observed += partial_total.jobs
+            else:
+                # Sample rows carry no job identity; jobs were already
+                # counted from the results table partials.
+                partial_total.jobs = 0
+                for partial in partial_endpoints.values():
+                    partial.jobs = 0
+            total.merge(partial_total)
+            for name, partial in partial_endpoints.items():
+                existing = per_endpoint.get(name)
+                if existing is None:
+                    per_endpoint[name] = partial
+                else:
+                    existing.merge(partial)
+    state = rollups_state(campaign, total, per_endpoint, jobs_observed)
+    if write:
+        rel = write_rollups(warehouse, campaign, state)
+        manifest.rollups = rel
+        warehouse.commit_manifest(manifest)
+    return {
+        "campaign": campaign,
+        "jobs_observed": jobs_observed,
+        "total": total,
+        "endpoints": per_endpoint,
+    }
+
+
+def rollup_summary(rollups: dict, endpoint: Optional[str] = None) -> dict:
+    """Display dict for one scope of a loaded rollups bundle."""
+    if endpoint is None:
+        scope = rollups["total"]
+    else:
+        scope = rollups["endpoints"].get(endpoint)
+        if scope is None:
+            raise WarehouseError(f"no rollup for endpoint {endpoint!r}")
+    return scope.to_dict()

@@ -1,0 +1,23 @@
+"""Classification fixture: ``repro.warehouse`` is offline tooling.
+
+This file *looks* maximally suspicious to simlint — it drives the
+simulator (a ``_SIM_DRIVER_CALLS`` hit), reads the wall clock, and does
+blocking file I/O — but its module name resolves to
+``repro.warehouse.offline_fixture``, which the
+``OFFLINE_MODULE_PREFIXES`` allowlist classifies as offline tooling.
+It must therefore scan with **zero findings**; if the warehouse prefix
+is ever dropped from the allowlist, DET001/SIM002 fire here and the
+corpus test catches it.
+"""
+
+import time
+
+
+def persist(Simulator, rows, path):
+    sim = Simulator()
+    sim.run()
+    stamp = time.time()
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(f"{row}\n")
+    return stamp

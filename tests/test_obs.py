@@ -170,6 +170,80 @@ def test_jsonl_round_trip(tmp_path):
     assert events[0]["fields"]["ok"] is True
 
 
+# -- JsonlSink durability (warehouse ingestion depends on these) -----------
+
+
+def _event(i: float) -> "ObsEvent":
+    from repro.obs.bus import ObsEvent
+
+    return ObsEvent(time=i, layer="kernel", name="tick", fields={"i": i})
+
+
+def test_jsonl_sink_close_flushes_and_is_idempotent(tmp_path):
+    from repro.obs.sinks import JsonlSink
+
+    path = str(tmp_path / "events.jsonl")
+    sink = JsonlSink(path)
+    sink.record(_event(1.0))
+    sink.record(_event(2.0))
+    assert not sink.closed
+    sink.close()
+    assert sink.closed
+    sink.close()  # second close is a no-op, not an error
+    assert sink.lines_written == 2
+    assert len(read_jsonl(path)) == 2
+
+
+def test_jsonl_sink_reopen_for_append(tmp_path):
+    from repro.obs.sinks import JsonlSink
+
+    path = str(tmp_path / "events.jsonl")
+    first = JsonlSink(path)
+    first.record(_event(1.0))
+    first.close()
+    second = JsonlSink(path, mode="a")
+    second.record(_event(2.0))
+    second.close()
+    times = [record["time"] for record in read_jsonl(path)]
+    assert times == [1.0, 2.0]
+    with pytest.raises(ValueError):
+        JsonlSink(path, mode="r+")
+
+
+def test_jsonl_sink_wraps_text_handles(tmp_path):
+    import io
+
+    from repro.obs.sinks import JsonlSink
+
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer)
+    sink.record(_event(3.0))
+    sink.close()  # must not close (or fsync) a handle it doesn't own
+    assert not buffer.closed
+    assert buffer.getvalue().count("\n") == 1
+
+
+def test_read_jsonl_tolerates_truncated_tail(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    with open(path, "w") as fh:
+        fh.write('{"kind":"event","time":1.0}\n')
+        fh.write('{"kind":"event","time":2.0}\n')
+        fh.write('{"kind":"event","ti')  # writer killed mid-append
+    with pytest.raises(ValueError):
+        read_jsonl(path)
+    records = read_jsonl(path, strict=False)
+    assert [record["time"] for record in records] == [1.0, 2.0]
+
+
+def test_read_jsonl_interior_corruption_still_raises(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    with open(path, "w") as fh:
+        fh.write('{"kind":"event","ti\n')  # corrupt, but not the tail
+        fh.write('{"kind":"event","time":2.0}\n')
+    with pytest.raises(ValueError):
+        read_jsonl(path, strict=False)
+
+
 # -- disabled-mode no-op ---------------------------------------------------
 
 

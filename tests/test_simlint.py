@@ -77,6 +77,13 @@ class TestFixtureCorpus:
         rules_hit = {f.rule for f in corpus_result.findings}
         assert rules_hit == {rule.id for rule in all_rules()}
 
+    def test_offline_warehouse_fixture_has_zero_findings(self, corpus_result):
+        mine = [
+            f for f in corpus_result.findings
+            if f.path.endswith("offline_fixture.py")
+        ]
+        assert mine == []
+
     def test_clean_fixture_has_zero_findings(self, corpus_result):
         assert not [
             f for f in corpus_result.findings if f.path == "clean_sim.py"
@@ -102,7 +109,7 @@ class TestFixtureCorpus:
             "simlint: 17 finding(s) [DET001×2, DET002×1, DET003×2, "
             "DET004×1, DET005×1, LINT001×1, LINT002×1, OBS001×1, "
             "PROTO001×1, PROTO002×1, PROTO003×1, SIM001×1, SIM002×1, "
-            "SIM003×1, SIM004×1] (2 suppressed, 0 baselined) in 8 files"
+            "SIM003×1, SIM004×1] (2 suppressed, 0 baselined) in 9 files"
         )
 
     def test_golden_json_report(self, corpus_result):
@@ -230,6 +237,10 @@ class TestClassifier:
     def model(self):
         return analyze_paths([SRC], root=REPO).model
 
+    @pytest.fixture(scope="class")
+    def corpus_model(self):
+        return analyze_paths([CORPUS], root=CORPUS).model
+
     def test_sim_substrate_is_sim_context(self, model):
         for name in ("repro.netsim.kernel", "repro.netsim.links",
                      "repro.endpoint.endpoint", "repro.fleet.scheduler",
@@ -239,8 +250,17 @@ class TestClassifier:
     def test_offline_tooling_is_not(self, model):
         for name in ("repro.cpf.compiler", "repro.analysis.engine",
                      "repro.obs.report", "repro.baselines.native",
-                     "repro.compat.sockets"):
+                     "repro.compat.sockets", "repro.warehouse.segments",
+                     "repro.warehouse.ingest", "repro.warehouse.query"):
             assert name not in model.sim_modules, name
+
+    def test_warehouse_corpus_fixture_is_offline(self, corpus_model):
+        # The fixture drives the simulator AND does wall-clock/file
+        # I/O; only the repro.warehouse allowlist prefix keeps it (and
+        # the real warehouse) out of the sim set — with zero findings.
+        name = "repro.warehouse.offline_fixture"
+        assert name in corpus_model.modules
+        assert name not in corpus_model.sim_modules
 
     def test_rule_registry_is_pluggable_and_unique(self):
         rules = all_rules()
